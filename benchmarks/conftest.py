@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables
+inline).  Scale defaults to ``test`` so the full suite stays fast; set
+``REPRO_BENCH_SCALE=small`` (or ``medium``) for closer-to-paper shapes.
+
+Simulated runtimes land in ``benchmark.extra_info`` so the JSON export
+carries the reproduced numbers alongside the wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Dataset scale preset for the benchmark suite."""
+    return os.environ.get("REPRO_BENCH_SCALE", "test")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,33 @@
+"""Benchmark A1 — ablation: Incoop-style task-level reuse vs kv-level.
+
+Measures §8.1.1's claim that scattered changes defeat task-level
+incremental processing, plus Table 3's dataset inventory.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_incoop import run_ablation
+from repro.experiments.table3_datasets import run_table3
+
+
+def test_bench_ablation_incoop(benchmark, bench_scale):
+    result = run_once(benchmark, run_ablation, scale=bench_scale)
+    print()
+    print(result.to_text())
+    rows = {(row[0], row[1]): row for row in result.rows}
+    benchmark.extra_info["incoop_append_s"] = rows[("incoop", "append-only")][2]
+    benchmark.extra_info["incoop_scattered_s"] = rows[
+        ("incoop", "scattered-updates")
+    ][2]
+    assert (
+        rows[("incoop", "scattered-updates")][2]
+        > rows[("incoop", "append-only")][2]
+    )
+
+
+def test_bench_table3_datasets(benchmark, bench_scale):
+    result = run_once(benchmark, run_table3, scale=bench_scale)
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 5

@@ -1,0 +1,20 @@
+"""Benchmark E1 — §8.2 one-step APriori: recomputation vs incremental.
+
+Paper: 1608 s vs 131 s (12x).  The reproduced speedup is recorded in
+``extra_info`` and the table printed.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.onestep_apriori import run_apriori_onestep
+
+
+def test_bench_apriori_onestep(benchmark, bench_scale):
+    result = run_once(benchmark, run_apriori_onestep, scale=bench_scale)
+    print()
+    print(result.to_text())
+    benchmark.extra_info["recomputation_s"] = result.rows[0][1]
+    benchmark.extra_info["incremental_s"] = result.rows[1][1]
+    benchmark.extra_info["speedup"] = result.rows[1][2]
+    assert result.rows[1][2] > 4.0

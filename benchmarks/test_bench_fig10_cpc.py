@@ -1,0 +1,20 @@
+"""Benchmark E5 — Fig 10: CPC filter-threshold sweep (runtime vs error)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10_cpc import run_fig10
+
+
+def test_bench_fig10_cpc(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig10, scale=bench_scale)
+    print()
+    print(result.to_text())
+    final = {}
+    for ft, iteration, cumulative, error, _ in result.rows:
+        final[ft] = (cumulative, error)
+    for ft, (cumulative, error) in final.items():
+        benchmark.extra_info[f"ft{ft}_time_s"] = cumulative
+        benchmark.extra_info[f"ft{ft}_mean_error"] = error
+    # Larger threshold -> faster (the Fig 10a ordering).
+    assert final[1.0][0] <= final[0.1][0]

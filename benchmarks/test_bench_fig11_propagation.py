@@ -1,0 +1,18 @@
+"""Benchmark E6 — Fig 11: change propagation with/without CPC (1% delta)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig11_propagation import run_fig11
+
+
+def test_bench_fig11_propagation(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig11, scale=bench_scale)
+    print()
+    print(result.to_text())
+    series = {}
+    for variant, iteration, propagated, time_s in result.rows:
+        series.setdefault(variant, []).append(propagated)
+    benchmark.extra_info["no_cpc_final_propagated"] = series["w/o CPC"][-1]
+    # Without CPC the change set keeps growing (the Fig 11a blow-up).
+    assert series["w/o CPC"][-1] >= series["w/o CPC"][0]

@@ -1,0 +1,20 @@
+"""Benchmark E7 — Fig 12 / Table 5: PlainMR vs iterMR vs Spark across
+graph sizes; Spark wins small, loses once memory is exhausted."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig12_spark import run_fig12
+
+
+def test_bench_fig12_spark(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig12, scale=bench_scale)
+    print()
+    print(result.to_text())
+    for label, _, plain, itermr, spark, spill in result.rows:
+        benchmark.extra_info[f"{label}_plainmr_s"] = plain
+        benchmark.extra_info[f"{label}_itermr_s"] = itermr
+        benchmark.extra_info[f"{label}_spark_s"] = spark
+    rows = {row[0]: row for row in result.rows}
+    assert rows["clueweb-xs"][4] < rows["clueweb-xs"][3]  # Spark wins small
+    assert rows["clueweb-l"][5] != "0%"  # Spark spills at the top end

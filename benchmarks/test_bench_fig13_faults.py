@@ -1,0 +1,20 @@
+"""Benchmark E8 — Fig 13: fault recovery during PageRank.
+
+Paper: three injected task failures all recover within 12 seconds.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig13_faults import RECOVERY_BOUND_S, run_fig13
+
+
+def test_bench_fig13_faults(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig13, scale=bench_scale)
+    print()
+    print(result.to_text())
+    failures = result.rows[:-1]
+    worst = max(row[3] for row in failures)
+    benchmark.extra_info["num_failures"] = len(failures)
+    benchmark.extra_info["worst_recovery_s"] = worst
+    assert worst <= RECOVERY_BOUND_S

@@ -1,0 +1,25 @@
+"""Benchmark E2 — Fig 8: normalized runtimes of the five solutions.
+
+One benchmark per workload so the timing report shows them separately.
+Expected shapes: PageRank/SSSP — i2MR w/ CPC several-fold under PlainMR,
+HaLoop at/above PlainMR; Kmeans — i2MR falls back to iterMR; GIM-V —
+PlainMR the outlier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_overall import run_workload
+
+
+@pytest.mark.parametrize("workload", ["pagerank", "sssp", "kmeans", "gimv"])
+def test_bench_fig8(benchmark, bench_scale, workload):
+    times = run_once(benchmark, run_workload, workload, scale=bench_scale)
+    base = times["plainmr"]
+    print(f"\nFig 8 [{workload}] normalized to PlainMR={base:.0f}s:")
+    for solution in ("plainmr", "haloop", "itermr", "i2mr_nocpc", "i2mr_cpc"):
+        print(f"  {solution:11s} {times[solution] / base:6.3f}")
+        benchmark.extra_info[solution] = round(times[solution], 1)
+    assert times["i2mr_cpc"] < times["plainmr"]

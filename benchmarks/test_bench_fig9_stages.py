@@ -1,0 +1,22 @@
+"""Benchmark E3 — Fig 9: PageRank per-stage breakdown.
+
+Paper savings vs PlainMR: iterMR map -51%, shuffle -74%, reduce -88%;
+i2MR cuts map/shuffle/sort hardest but pays MRBG-Store cost in reduce.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_stages import run_fig9
+
+
+def test_bench_fig9_stages(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig9, scale=bench_scale)
+    print()
+    print(result.to_text())
+    for stage, plain, itermr, i2mr, *_ in result.rows:
+        benchmark.extra_info[f"{stage}_plainmr_s"] = plain
+        benchmark.extra_info[f"{stage}_itermr_s"] = itermr
+        benchmark.extra_info[f"{stage}_i2mr_s"] = i2mr
+    rows = {row[0]: row for row in result.rows}
+    assert rows["reduce"][3] > rows["reduce"][2]  # store cost shows up

@@ -1,0 +1,22 @@
+"""Benchmark E4 — Table 4: MRBG-Store read-window policies.
+
+Paper ordering: index-only = most reads / fewest bytes; single fixed
+window = catastrophic bytes; multi-dynamic-window = best time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.table4_mrbgstore import run_table4
+
+
+def test_bench_table4_store(benchmark, bench_scale):
+    result = run_once(benchmark, run_table4, scale=bench_scale)
+    print()
+    print(result.to_text())
+    for technique, reads, rsize, time_s in result.rows:
+        benchmark.extra_info[f"{technique}_reads"] = reads
+        benchmark.extra_info[f"{technique}_time_s"] = time_s
+    rows = {row[0]: row for row in result.rows}
+    assert rows["index-only"][1] == max(r[1] for r in result.rows)
+    assert rows["multi-dynamic-window"][3] <= rows["single-fix-window"][3]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Incremental PageRank over an evolving web graph (§5, the paper's
+motivating scenario).
+
+A web crawl is refreshed three times; each refresh changes ~5 % of the
+pages.  Instead of recomputing PageRank from scratch each time,
+i2MapReduce starts from the previously converged ranks and the preserved
+MRBGraph, processes only the delta, and uses change propagation control
+to stop refreshing pages whose ranks barely move.
+
+Run:  python examples/incremental_pagerank.py
+"""
+
+from repro import Cluster, DistributedFS, I2MREngine, I2MROptions, IterativeJob, PageRank
+from repro.datasets import mutate_web_graph, powerlaw_web_graph
+
+
+def main() -> None:
+    graph = powerlaw_web_graph(num_vertices=2000, avg_out_degree=8, seed=42)
+    algorithm = PageRank(damping=0.8)
+
+    cluster = Cluster(num_workers=8)
+    dfs = DistributedFS(cluster, block_size=64 * 1024)
+    engine = I2MREngine(cluster, dfs)
+
+    job = IterativeJob(algorithm, graph, num_partitions=8,
+                       max_iterations=50, epsilon=1e-6)
+    initial, preserved = engine.run_initial(job)
+    print(
+        f"initial crawl: converged in {initial.iterations} iterations, "
+        f"{initial.total_time:.1f} simulated s"
+    )
+
+    for generation in range(1, 4):
+        delta = mutate_web_graph(graph, fraction=0.05, seed=100 + generation)
+        graph = delta.new_graph
+        print(
+            f"\nrefresh {generation}: {len(delta.records)} changed records "
+            f"({graph.num_vertices} pages)"
+        )
+        result = engine.run_incremental(
+            IterativeJob(algorithm, graph, num_partitions=8, max_iterations=30),
+            delta.records,
+            preserved,
+            I2MROptions(filter_threshold=0.001, max_iterations=30),
+        )
+        top = sorted(result.state.items(), key=lambda kv: -kv[1])[:5]
+        print(
+            f"  refreshed in {result.iterations} iterations, "
+            f"{result.total_time:.1f} simulated s "
+            f"(converged={result.converged})"
+        )
+        print("  top pages:", [(v, round(r, 3)) for v, r in top])
+        per_iter = [s.propagated_kv_pairs for s in result.per_iteration]
+        print("  propagated kv-pairs per iteration:", per_iter)
+
+    # The preserved MRBGraph file accumulated one sorted batch per
+    # iteration; compact it offline, as an idle worker would (§3.4).
+    before = sum(s.file_size for s in preserved.stores.stores.values())
+    preserved.stores.compact_all()
+    after = sum(s.file_size for s in preserved.stores.stores.values())
+    print(f"\noffline compaction: MRBGraph files {before} -> {after} bytes")
+
+    preserved.cleanup()
+
+
+if __name__ == "__main__":
+    main()

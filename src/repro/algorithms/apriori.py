@@ -1,0 +1,88 @@
+"""APriori frequent word-pair mining (§8.1.3), a one-step algorithm.
+
+After a preprocessing job produces the candidate list of frequent word
+pairs, APriori runs one MapReduce job: the Map task loads the candidate
+list, identifies candidate pairs in each tweet and emits
+``(word_pair, count)``; the Reduce task aggregates local counts into
+global frequencies with an integer sum — a textbook **accumulator
+Reduce** (§3.5), so incremental processing preserves only the Reduce
+outputs and folds the insert-only delta (newly collected tweets) in with
+``accumulate``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.datasets.text import TweetDataset
+from repro.incremental.api import SumReducer
+from repro.mapreduce.api import Context, Mapper
+from repro.mapreduce.job import JobConf
+
+
+class APrioriMapper(Mapper):
+    """Counts candidate word-pair occurrences per tweet."""
+
+    def __init__(self, candidate_pairs: Iterable[Tuple[str, str]]) -> None:
+        self.candidates = tuple(candidate_pairs)
+        self.candidate_words = frozenset(
+            word for pair in self.candidates for word in pair
+        )
+        # The map body scans the candidate list per record; weight the
+        # simulated CPU with the list size.
+        self.cpu_weight = max(1.0, len(self.candidates) / 100.0)
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        words = frozenset(value.split()) & self.candidate_words
+        if len(words) < 2:
+            return
+        for a, b in self.candidates:
+            if a in words and b in words:
+                ctx.emit((a, b), 1)
+
+
+class APrioriReducer(SumReducer):
+    """Global pair frequency: an integer-sum accumulator Reduce."""
+
+
+class APriori:
+    """Driver-side helper bundling the APriori job pieces."""
+
+    name = "apriori"
+
+    def __init__(self, dataset: TweetDataset) -> None:
+        self.dataset = dataset
+
+    def jobconf(
+        self,
+        inputs: List[str],
+        output: str,
+        num_reducers: int = 8,
+    ) -> JobConf:
+        """Build the counting job for the given inputs."""
+        candidates = self.dataset.candidate_pairs
+        return JobConf(
+            name=self.name,
+            mapper=lambda: APrioriMapper(candidates),
+            reducer=APrioriReducer,
+            inputs=inputs,
+            output=output,
+            num_reducers=num_reducers,
+        )
+
+    def reference_counts(
+        self, tweets: Dict[int, str]
+    ) -> Dict[Tuple[str, str], int]:
+        """Exact pair counts for correctness checks."""
+        counts: Dict[Tuple[str, str], int] = {}
+        candidate_words = frozenset(
+            word for pair in self.dataset.candidate_pairs for word in pair
+        )
+        for text in tweets.values():
+            words = frozenset(text.split()) & candidate_words
+            if len(words) < 2:
+                continue
+            for pair in self.dataset.candidate_pairs:
+                if pair[0] in words and pair[1] in words:
+                    counts[pair] = counts.get(pair, 0) + 1
+        return counts

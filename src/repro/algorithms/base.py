@@ -1,0 +1,144 @@
+"""Algorithm adapter base class.
+
+Each mining algorithm (PageRank, SSSP, Kmeans, GIM-V) implements this
+interface once and every engine — iterMR, i2MapReduce incremental, plain
+MapReduce recomputation, HaLoop, the Spark-like baseline — runs it without
+algorithm-specific code.  The interface mirrors the paper's enhanced API
+(Table 2):
+
+- ``project(SK) -> DK``            (the Projector class)
+- ``map_instance(SK, SV, DK, DV)`` (the enhanced Mapper)
+- ``reduce_instance(K2, {V2})``    (the Reducer; returns the new DV)
+- ``init_state_value(DK)``         (``init(DK) -> DV``)
+- ``difference(DV_curr, DV_prev)`` (change-propagation metric)
+
+Baseline formulations (plain MapReduce and HaLoop job pipelines) are also
+supplied per algorithm because the paper implements each algorithm
+separately on each system (§8.1.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.iterative.api import Dependency
+
+
+class IterativeAlgorithm(abc.ABC):
+    """One iterative mining algorithm, engine-agnostic."""
+
+    #: Short identifier used in output paths and reports.
+    name: str = "algorithm"
+    #: Structure-to-state dependency type (Table 1).
+    dependency: Dependency = Dependency.ONE_TO_ONE
+    #: Relative CPU weight of one map_instance call.
+    map_cpu_weight: float = 1.0
+    #: Relative CPU weight of one reduced value.
+    reduce_cpu_weight: float = 1.0
+
+    # ------------------------------------------------------------------ #
+    # §4 API                                                             #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def project(self, sk: Any) -> Any:
+        """The Project function: interdependent state key of ``sk``."""
+
+    @abc.abstractmethod
+    def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        """One enhanced-Map call; returns the emitted ``(K2, V2)`` pairs."""
+
+    @abc.abstractmethod
+    def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        """One Reduce call; returns the new state value for ``DK == K2``."""
+
+    @abc.abstractmethod
+    def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        """Magnitude of a state change (Table 2 ``difference``)."""
+
+    def init_state_value(self, dk: Any) -> Any:
+        """Initial DV for a state key first seen mid-computation."""
+        raise NotImplementedError(f"{self.name} does not define init_state_value")
+
+    def assemble_state(
+        self,
+        state: Dict[Any, Any],
+        outputs: List[Tuple[Any, Any]],
+    ) -> None:
+        """Fold prime-Reduce outputs into the state dict, in place.
+
+        The default treats each Reduce output ``(DK, DV)`` as a direct
+        state update.  All-to-one algorithms (Kmeans) override this to
+        pack per-group outputs into their single composite state kv-pair.
+        """
+        for dk, dv in outputs:
+            state[dk] = dv
+
+    # ------------------------------------------------------------------ #
+    # data model                                                          #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def structure_records(self, dataset: Any) -> List[Tuple[Any, Any]]:
+        """Loop-invariant structure kv-pairs ``(SK, SV)`` of the dataset."""
+
+    @abc.abstractmethod
+    def initial_state(self, dataset: Any) -> Dict[Any, Any]:
+        """Initial loop-variant state ``{DK: DV}``."""
+
+    # ------------------------------------------------------------------ #
+    # reference implementation                                            #
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def reference(self, dataset: Any, iterations: int) -> Dict[Any, Any]:
+        """Exact single-machine implementation for correctness checks."""
+
+    # ------------------------------------------------------------------ #
+    # baseline formulations                                               #
+    # ------------------------------------------------------------------ #
+
+    def plain_formulation(self, dataset: Any) -> "PlainFormulation":
+        """Vanilla-MapReduce job pipeline for this algorithm (§8.1.1)."""
+        raise NotImplementedError(f"{self.name} has no plain MapReduce formulation")
+
+    def haloop_formulation(self, dataset: Any) -> "HaLoopFormulation":
+        """HaLoop two-job formulation (§8.6, Algorithm 5)."""
+        raise NotImplementedError(f"{self.name} has no HaLoop formulation")
+
+
+class PlainFormulation(abc.ABC):
+    """Vanilla-MapReduce pipeline: one or more jobs per iteration.
+
+    Implementations own their DFS paths and evolving inputs; the driver
+    (:mod:`repro.baselines.plainmr`) just loops and sums metrics.
+    """
+
+    @abc.abstractmethod
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write iteration-0 inputs to the DFS."""
+
+    @abc.abstractmethod
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """Run this iteration's job(s); returns merged :class:`JobMetrics`."""
+
+    @abc.abstractmethod
+    def current_state(self) -> Dict[Any, Any]:
+        """Extract the state after the last completed iteration."""
+
+
+class HaLoopFormulation(abc.ABC):
+    """HaLoop pipeline: join job + compute job with reducer-input caching."""
+
+    @abc.abstractmethod
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write iteration-0 inputs to the DFS."""
+
+    @abc.abstractmethod
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """Run this iteration's jobs under HaLoop caching rules."""
+
+    @abc.abstractmethod
+    def current_state(self) -> Dict[Any, Any]:
+        """Extract the state after the last completed iteration."""

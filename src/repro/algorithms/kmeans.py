@@ -1,0 +1,272 @@
+"""Kmeans clustering, all-to-one dependency (§4.1, Algorithm 3).
+
+Structure kv-pairs are ``(pid, pval)`` points; the state is a *single*
+kv-pair ``(1, {(cid, cval), ...})`` holding every centroid, so each Map
+instance depends on the whole state (all-to-one).  Per §4.3 the engine
+replicates the small state to every partition instead of co-partitioning.
+
+Per §5.2, any input change moves every centroid, so ``P∆ = 100 %`` and
+i2MapReduce auto-disables MRBGraph maintenance, falling back to the
+iterative engine — the experiments reproduce exactly that behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from repro.algorithms.base import (
+    HaLoopFormulation,
+    IterativeAlgorithm,
+    PlainFormulation,
+)
+from repro.datasets.points import PointsDataset
+from repro.iterative.api import Dependency
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import JobConf
+
+#: The single state key of the all-to-one dependency (Table 1: "unique key 1").
+STATE_KEY = 1
+
+
+def _nearest_centroid(pval: Tuple[float, ...], centroids: Any) -> Any:
+    """Index of the closest centroid (squared Euclidean, lowest-cid ties)."""
+    best_cid = None
+    best_dist = math.inf
+    for cid, cval in centroids:
+        dist = 0.0
+        for a, b in zip(pval, cval):
+            d = a - b
+            dist += d * d
+        if dist < best_dist:
+            best_dist = dist
+            best_cid = cid
+    return best_cid
+
+
+def _mean(values: List[Tuple[Tuple[float, ...], int]]) -> Tuple[float, ...]:
+    """Weighted mean of ``(vector, count)`` partial aggregates."""
+    total_count = 0
+    dim = len(values[0][0])
+    sums = [0.0] * dim
+    for vec, count in values:
+        total_count += count
+        for idx in range(dim):
+            sums[idx] += vec[idx]
+    return tuple(s / total_count for s in sums)
+
+
+class Kmeans(IterativeAlgorithm):
+    """Lloyd's algorithm on the iterative MapReduce model."""
+
+    name = "kmeans"
+    dependency = Dependency.ALL_TO_ONE
+
+    def __init__(self, k: int = 8, dim: int = 8) -> None:
+        self.k = k
+        self.dim = dim
+        # One map call scans all k centroids over dim dimensions; weight
+        # the simulated CPU accordingly (framework baseline ~ 1 unit).
+        self.map_cpu_weight = max(1.0, k * dim / 16.0)
+
+    # ------------------------------ §4 API ---------------------------- #
+
+    def project(self, sk: Any) -> Any:
+        return STATE_KEY
+
+    def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        cid = _nearest_centroid(sv, dv)
+        if cid is None:
+            return []
+        return [(cid, (sv, 1))]
+
+    def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        if not values:
+            return None
+        return _mean(values)
+
+    def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        """Maximum centroid movement (Euclidean) between two states."""
+        prev = dict(dv_prev)
+        worst = 0.0
+        for cid, cval in dv_curr:
+            old = prev.get(cid)
+            if old is None:
+                continue
+            dist = math.sqrt(sum((a - b) ** 2 for a, b in zip(cval, old)))
+            worst = max(worst, dist)
+        return worst
+
+    def assemble_state(
+        self,
+        state: Dict[Any, Any],
+        outputs: List[Tuple[Any, Any]],
+    ) -> None:
+        centroids = dict(state.get(STATE_KEY, ()))
+        for cid, cval in outputs:
+            if cval is not None:
+                centroids[cid] = cval
+        state[STATE_KEY] = tuple(sorted(centroids.items()))
+
+    # ---------------------------- data model -------------------------- #
+
+    def structure_records(self, dataset: PointsDataset) -> List[Tuple[Any, Any]]:
+        return sorted(dataset.points.items())
+
+    def initial_state(self, dataset: PointsDataset) -> Dict[Any, Any]:
+        return {STATE_KEY: dataset.initial_centroids}
+
+    # ---------------------------- reference --------------------------- #
+
+    def reference(self, dataset: PointsDataset, iterations: int) -> Dict[Any, Any]:
+        state = self.initial_state(dataset)
+        return self.reference_from(dataset, state, iterations)
+
+    def reference_from(
+        self,
+        dataset: PointsDataset,
+        state: Dict[Any, Any],
+        iterations: int,
+    ) -> Dict[Any, Any]:
+        """Exact Lloyd iterations matching the engine's tie-breaking."""
+        centroids = dict(state[STATE_KEY])
+        for _ in range(iterations):
+            sums: Dict[Any, List[float]] = {}
+            counts: Dict[Any, int] = {}
+            cent_items = tuple(sorted(centroids.items()))
+            for _, pval in sorted(dataset.points.items()):
+                cid = _nearest_centroid(pval, cent_items)
+                if cid is None:
+                    continue
+                if cid not in sums:
+                    sums[cid] = [0.0] * len(pval)
+                    counts[cid] = 0
+                counts[cid] += 1
+                acc = sums[cid]
+                for idx, x in enumerate(pval):
+                    acc[idx] += x
+            for cid, acc in sums.items():
+                centroids[cid] = tuple(x / counts[cid] for x in acc)
+        return {STATE_KEY: tuple(sorted(centroids.items()))}
+
+    # ----------------------- baseline formulations -------------------- #
+
+    def plain_formulation(self, dataset: PointsDataset) -> "KmeansPlainFormulation":
+        return KmeansPlainFormulation(self, dataset)
+
+    def haloop_formulation(self, dataset: PointsDataset) -> "KmeansHaLoopFormulation":
+        return KmeansHaLoopFormulation(self, dataset)
+
+
+# ---------------------------------------------------------------------- #
+# vanilla MapReduce formulation (Algorithm 3)                             #
+# ---------------------------------------------------------------------- #
+
+
+class _PlainKmeansMapper(Mapper):
+    """Map phase of Algorithm 3; centroids arrive via the side channel
+    (Hadoop's distributed cache)."""
+
+    def __init__(self, centroids: Any, cpu_weight: float) -> None:
+        self.centroids = centroids
+        self.cpu_weight = cpu_weight
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        cid = _nearest_centroid(value, self.centroids)
+        if cid is not None:
+            ctx.emit(cid, (value, 1))
+
+
+class _PlainKmeansReducer(Reducer):
+    def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        ctx.emit(key, _mean(values))
+
+
+class KmeansPlainFormulation(PlainFormulation):
+    """One job per iteration; points re-read and re-parsed every time."""
+
+    def __init__(self, algorithm: Kmeans, dataset: PointsDataset, num_reducers: int = 4) -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.num_reducers = num_reducers
+        self._dfs = None
+        self._centroids = None
+        self._base = f"/{algorithm.name}/plain"
+
+    @property
+    def points_path(self) -> str:
+        return f"{self._base}/points"
+
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        self._dfs = dfs
+        dfs.write(self.points_path, sorted(self.dataset.points.items()), overwrite=True)
+        self._centroids = state[STATE_KEY]
+
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        centroids = self._centroids
+        weight = self.algorithm.map_cpu_weight
+        jobconf = JobConf(
+            name=f"kmeans-plain-{iteration}",
+            mapper=lambda: _PlainKmeansMapper(centroids, weight),
+            reducer=_PlainKmeansReducer,
+            inputs=[self.points_path],
+            output=f"{self._base}/centroids{iteration + 1}",
+            num_reducers=self.num_reducers,
+        )
+        result = engine.run(jobconf)
+        updated = dict(centroids)
+        for cid, cval in self._dfs.read(jobconf.output):
+            updated[cid] = cval
+        self._centroids = tuple(sorted(updated.items()))
+        return result.metrics
+
+    def current_state(self) -> Dict[Any, Any]:
+        return {STATE_KEY: self._centroids}
+
+
+class KmeansHaLoopFormulation(HaLoopFormulation):
+    """Same job shape, but HaLoop caches the points at the mappers and
+    keeps the job alive across iterations."""
+
+    def __init__(self, algorithm: Kmeans, dataset: PointsDataset, num_reducers: int = 4) -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.num_reducers = num_reducers
+        self._dfs = None
+        self._centroids = None
+        self._base = f"/{algorithm.name}/haloop"
+
+    @property
+    def points_path(self) -> str:
+        return f"{self._base}/points"
+
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        self._dfs = dfs
+        dfs.write(self.points_path, sorted(self.dataset.points.items()), overwrite=True)
+        self._centroids = state[STATE_KEY]
+
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        centroids = self._centroids
+        weight = self.algorithm.map_cpu_weight
+        jobconf = JobConf(
+            name=f"kmeans-haloop-{iteration}",
+            mapper=lambda: _PlainKmeansMapper(centroids, weight),
+            reducer=_PlainKmeansReducer,
+            inputs=[self.points_path],
+            output=f"{self._base}/centroids{iteration + 1}",
+            num_reducers=self.num_reducers,
+        )
+        result = engine.run_loop_job(
+            jobconf,
+            loop_id="kmeans",
+            iteration=iteration,
+            mapper_cached_inputs=[self.points_path],
+        )
+        updated = dict(centroids)
+        for cid, cval in self._dfs.read(jobconf.output):
+            updated[cid] = cval
+        self._centroids = tuple(sorted(updated.items()))
+        return result.metrics
+
+    def current_state(self) -> Dict[Any, Any]:
+        return {STATE_KEY: self._centroids}

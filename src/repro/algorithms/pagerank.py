@@ -1,0 +1,302 @@
+"""PageRank (Algorithm 2 of the paper), one-to-one dependency.
+
+Structure kv-pairs are ``(i, N_i)`` (vertex and its out-neighbor tuple);
+state kv-pairs are ``(i, R_i)`` (the evolving rank).  The paper's update
+rule is ``R_j = d * sum_i R_{i,j} + (1 - d)`` with all ranks initialized
+to one (so computed scores are ``|N|`` times larger than the probabilistic
+formulation — footnote 2 of the paper).
+
+Also provided: the vanilla-MapReduce formulation (Algorithm 2 with
+structure data riding through the shuffle) and the HaLoop two-job
+formulation (Algorithm 5: join job + aggregation job with reducer-input
+caching).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.algorithms.base import (
+    HaLoopFormulation,
+    IterativeAlgorithm,
+    PlainFormulation,
+)
+from repro.datasets.graphs import WebGraph
+from repro.iterative.api import Dependency
+from repro.mapreduce.api import Context, IdentityMapper, Mapper, Reducer
+from repro.mapreduce.job import JobConf
+
+
+class PageRank(IterativeAlgorithm):
+    """PageRank with the paper's damping convention."""
+
+    name = "pagerank"
+    dependency = Dependency.ONE_TO_ONE
+
+    def __init__(self, damping: float = 0.8) -> None:
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.damping = damping
+
+    # ------------------------------ §4 API ---------------------------- #
+
+    def project(self, sk: Any) -> Any:
+        return sk
+
+    def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        links = sv[0]
+        if not links:
+            return []
+        share = dv / len(links)
+        return [(j, share) for j in links]
+
+    def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        return self.damping * sum(values) + (1.0 - self.damping)
+
+    def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        return abs(dv_curr - dv_prev)
+
+    def init_state_value(self, dk: Any) -> Any:
+        return 1.0
+
+    # ---------------------------- data model -------------------------- #
+
+    def structure_records(self, dataset: WebGraph) -> List[Tuple[Any, Any]]:
+        return [(v, dataset.value_of(v)) for v in sorted(dataset.out_links)]
+
+    def initial_state(self, dataset: WebGraph) -> Dict[Any, Any]:
+        return {v: 1.0 for v in dataset.out_links}
+
+    # ---------------------------- reference --------------------------- #
+
+    def reference(self, dataset: WebGraph, iterations: int) -> Dict[Any, Any]:
+        """Exact dict-based power iteration matching the engine semantics."""
+        state = self.initial_state(dataset)
+        return self.reference_from(dataset, state, iterations)
+
+    def reference_from(
+        self,
+        dataset: WebGraph,
+        state: Dict[Any, Any],
+        iterations: int,
+    ) -> Dict[Any, Any]:
+        """Reference continuation from an arbitrary starting state."""
+        ranks = dict(state)
+        for v in dataset.out_links:
+            ranks.setdefault(v, 1.0)
+        for stale in [v for v in ranks if v not in dataset.out_links]:
+            del ranks[stale]
+        for _ in range(iterations):
+            sums: Dict[Any, float] = {v: 0.0 for v in dataset.out_links}
+            for i, links in dataset.out_links.items():
+                if not links:
+                    continue
+                share = ranks[i] / len(links)
+                for j in links:
+                    if j in sums:
+                        sums[j] += share
+            ranks = {
+                j: self.damping * total + (1.0 - self.damping)
+                for j, total in sums.items()
+            }
+        return ranks
+
+    # ----------------------- baseline formulations -------------------- #
+
+    def plain_formulation(self, dataset: WebGraph) -> "PageRankPlainFormulation":
+        return PageRankPlainFormulation(self, dataset)
+
+    def haloop_formulation(self, dataset: WebGraph) -> "PageRankHaLoopFormulation":
+        return PageRankHaLoopFormulation(self, dataset)
+
+
+# ---------------------------------------------------------------------- #
+# vanilla MapReduce formulation (Algorithm 2)                             #
+# ---------------------------------------------------------------------- #
+
+
+class _PlainPageRankMapper(Mapper):
+    """Map phase of Algorithm 2: re-emit structure, spread rank shares."""
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        sv, rank = value
+        links = sv[0]
+        ctx.emit(key, ("S", sv))
+        if links:
+            share = rank / len(links)
+            for j in links:
+                ctx.emit(j, ("R", share))
+
+
+class _PlainPageRankReducer(Reducer):
+    """Reduce phase of Algorithm 2: rebuild ``(N_j, R_j)`` records."""
+
+    def __init__(self, damping: float) -> None:
+        self.damping = damping
+
+    def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        sv: Any = ((), "")
+        total = 0.0
+        has_structure = False
+        for tag, payload in values:
+            if tag == "S":
+                sv = payload
+                has_structure = True
+            else:
+                total += payload
+        if not has_structure:
+            # Contribution to a vertex without a record (possible only in
+            # malformed graphs); drop it like Hadoop PageRank does.
+            return
+        ctx.emit(key, (sv, self.damping * total + (1.0 - self.damping)))
+
+
+class PageRankPlainFormulation(PlainFormulation):
+    """One MapReduce job per iteration over mixed structure+state records."""
+
+    def __init__(self, algorithm: PageRank, dataset: WebGraph, num_reducers: int = 8) -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.num_reducers = num_reducers
+        self._dfs = None
+        self._iteration = 0
+        self._base = f"/{algorithm.name}/plain"
+
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        self._dfs = dfs
+        records = [
+            (i, (self.dataset.value_of(i), state.get(i, self.algorithm.init_state_value(i))))
+            for i in sorted(self.dataset.out_links)
+        ]
+        dfs.write(f"{self._base}/iter0", records, overwrite=True)
+        self._iteration = 0
+
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        damping = self.algorithm.damping
+        jobconf = JobConf(
+            name=f"{self.algorithm.name}-plain-{iteration}",
+            mapper=_PlainPageRankMapper,
+            reducer=lambda: _PlainPageRankReducer(damping),
+            inputs=[f"{self._base}/iter{iteration}"],
+            output=f"{self._base}/iter{iteration + 1}",
+            num_reducers=self.num_reducers,
+        )
+        result = engine.run(jobconf)
+        self._iteration = iteration + 1
+        return result.metrics
+
+    def current_state(self) -> Dict[Any, Any]:
+        assert self._dfs is not None, "prepare() must run first"
+        return {
+            i: rank
+            for i, (_, rank) in self._dfs.read(f"{self._base}/iter{self._iteration}")
+        }
+
+
+# ---------------------------------------------------------------------- #
+# HaLoop formulation (Algorithm 5)                                        #
+# ---------------------------------------------------------------------- #
+
+
+class _HaLoopJoinReducer(Reducer):
+    """Reduce phase 1 of Algorithm 5: join rank with out-links, emit shares.
+
+    Also emits a zero contribution to the vertex itself so every vertex
+    reaches the aggregation job (keeping HaLoop's results identical to the
+    other engines for vertices without in-links).
+    """
+
+    def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        links: Tuple[Any, ...] = ()
+        rank = 1.0
+        for tag, payload in values:
+            if tag == "N":
+                links = payload[0]
+            else:
+                rank = payload
+        ctx.emit(key, ("R", 0.0))
+        if links:
+            share = rank / len(links)
+            for j in links:
+                ctx.emit(j, ("R", share))
+
+
+class _HaLoopAggReducer(Reducer):
+    """Reduce phase 2 of Algorithm 5: ``R_j = d * sum + (1 - d)``."""
+
+    def __init__(self, damping: float) -> None:
+        self.damping = damping
+
+    def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        total = sum(payload for _, payload in values)
+        ctx.emit(key, ("R", self.damping * total + (1.0 - self.damping)))
+
+
+class PageRankHaLoopFormulation(HaLoopFormulation):
+    """Two jobs per iteration; the join job's structure input is cached."""
+
+    def __init__(self, algorithm: PageRank, dataset: WebGraph, num_reducers: int = 8) -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.num_reducers = num_reducers
+        self._dfs = None
+        self._iteration = 0
+        self._base = f"/{algorithm.name}/haloop"
+
+    @property
+    def structure_path(self) -> str:
+        return f"{self._base}/structure"
+
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        self._dfs = dfs
+        structure = [
+            (i, ("N", self.dataset.value_of(i))) for i in sorted(self.dataset.out_links)
+        ]
+        dfs.write(self.structure_path, structure, overwrite=True)
+        state_records = [
+            (i, ("R", state.get(i, self.algorithm.init_state_value(i))))
+            for i in sorted(self.dataset.out_links)
+        ]
+        dfs.write(f"{self._base}/state0", state_records, overwrite=True)
+        self._iteration = 0
+
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        damping = self.algorithm.damping
+        join_job = JobConf(
+            name=f"{self.algorithm.name}-haloop-join-{iteration}",
+            mapper=IdentityMapper,
+            reducer=_HaLoopJoinReducer,
+            inputs=[self.structure_path, f"{self._base}/state{iteration}"],
+            output=f"{self._base}/contrib{iteration}",
+            num_reducers=self.num_reducers,
+        )
+        metrics = engine.run_loop_job(
+            join_job,
+            loop_id=f"{self.algorithm.name}-join",
+            iteration=iteration,
+            reducer_cached_inputs=[self.structure_path],
+        ).metrics
+        agg_job = JobConf(
+            name=f"{self.algorithm.name}-haloop-agg-{iteration}",
+            mapper=IdentityMapper,
+            reducer=lambda: _HaLoopAggReducer(damping),
+            inputs=[f"{self._base}/contrib{iteration}"],
+            output=f"{self._base}/state{iteration + 1}",
+            num_reducers=self.num_reducers,
+        )
+        metrics.merge(
+            engine.run_loop_job(
+                agg_job,
+                loop_id=f"{self.algorithm.name}-agg",
+                iteration=iteration,
+            ).metrics
+        )
+        self._iteration = iteration + 1
+        return metrics
+
+    def current_state(self) -> Dict[Any, Any]:
+        assert self._dfs is not None, "prepare() must run first"
+        return {
+            i: rank
+            for i, (_, rank) in self._dfs.read(f"{self._base}/state{self._iteration}")
+        }

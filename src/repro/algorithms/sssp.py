@@ -1,0 +1,302 @@
+"""Single-Source Shortest Path (SSSP), one-to-one dependency (§8.1.3).
+
+Structure kv-pairs are ``(i, ((j, w), ...))`` — a vertex and its weighted
+out-edges; state kv-pairs are ``(i, d_i)`` — the current distance from the
+source.  Each iteration performs one synchronous Bellman-Ford relaxation:
+``d_j = min_i (d_i + w_ij)``, with the source pinned at distance zero.
+Unreachable vertices carry ``inf``.
+
+The paper runs SSSP with a change-propagation filter threshold of 0, so
+"nodes without any changes will be filtered out" and results stay precise
+(§8.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from repro.algorithms.base import (
+    HaLoopFormulation,
+    IterativeAlgorithm,
+    PlainFormulation,
+)
+from repro.datasets.graphs import WeightedGraph
+from repro.iterative.api import Dependency
+from repro.mapreduce.api import Context, IdentityMapper, Mapper, Reducer
+from repro.mapreduce.job import JobConf
+
+INF = float("inf")
+
+#: Finite stand-in for an infinite distance change, so convergence sums
+#: and CPC accumulations stay arithmetic.
+_BIG_CHANGE = 1.0e18
+
+
+class SSSP(IterativeAlgorithm):
+    """Bellman-Ford style SSSP on the iterative MapReduce model."""
+
+    name = "sssp"
+    dependency = Dependency.ONE_TO_ONE
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = source
+
+    # ------------------------------ §4 API ---------------------------- #
+
+    def project(self, sk: Any) -> Any:
+        return sk
+
+    def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        links = sv[0]
+        if dv == INF or not links:
+            return []
+        return [(j, dv + w) for j, w in links]
+
+    def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        if k2 == self.source:
+            return 0.0
+        return min(values) if values else INF
+
+    def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        if dv_curr == dv_prev:
+            return 0.0
+        if math.isinf(dv_curr) or math.isinf(dv_prev):
+            return _BIG_CHANGE
+        return abs(dv_curr - dv_prev)
+
+    def init_state_value(self, dk: Any) -> Any:
+        return 0.0 if dk == self.source else INF
+
+    # ---------------------------- data model -------------------------- #
+
+    def structure_records(self, dataset: WeightedGraph) -> List[Tuple[Any, Any]]:
+        return [(v, dataset.value_of(v)) for v in sorted(dataset.out_links)]
+
+    def initial_state(self, dataset: WeightedGraph) -> Dict[Any, Any]:
+        return {
+            v: (0.0 if v == dataset.source else INF) for v in dataset.out_links
+        }
+
+    # ---------------------------- reference --------------------------- #
+
+    def reference(self, dataset: WeightedGraph, iterations: int) -> Dict[Any, Any]:
+        state = self.initial_state(dataset)
+        return self.reference_from(dataset, state, iterations)
+
+    def reference_from(
+        self,
+        dataset: WeightedGraph,
+        state: Dict[Any, Any],
+        iterations: int,
+    ) -> Dict[Any, Any]:
+        """Synchronous Bellman-Ford continuation from ``state``."""
+        dist = dict(state)
+        for v in dataset.out_links:
+            dist.setdefault(v, 0.0 if v == dataset.source else INF)
+        for stale in [v for v in dist if v not in dataset.out_links]:
+            del dist[stale]
+        for _ in range(iterations):
+            best: Dict[Any, float] = {v: INF for v in dataset.out_links}
+            for i, links in dataset.out_links.items():
+                di = dist[i]
+                if di == INF:
+                    continue
+                for j, w in links:
+                    cand = di + w
+                    if j in best and cand < best[j]:
+                        best[j] = cand
+            if self.source in best:
+                best[self.source] = 0.0
+            dist = best
+        return dist
+
+    # ----------------------- baseline formulations -------------------- #
+
+    def plain_formulation(self, dataset: WeightedGraph) -> "SSSPPlainFormulation":
+        return SSSPPlainFormulation(self, dataset)
+
+    def haloop_formulation(self, dataset: WeightedGraph) -> "SSSPHaLoopFormulation":
+        return SSSPHaLoopFormulation(self, dataset)
+
+
+# ---------------------------------------------------------------------- #
+# vanilla MapReduce formulation                                           #
+# ---------------------------------------------------------------------- #
+
+
+class _PlainSSSPMapper(Mapper):
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        sv, dist = value
+        ctx.emit(key, ("S", sv))
+        if dist != INF:
+            for j, w in sv[0]:
+                ctx.emit(j, ("D", dist + w))
+
+
+class _PlainSSSPReducer(Reducer):
+    def __init__(self, source: int) -> None:
+        self.source = source
+
+    def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        sv: Any = ((), "")
+        best = INF
+        has_structure = False
+        for tag, payload in values:
+            if tag == "S":
+                sv = payload
+                has_structure = True
+            elif payload < best:
+                best = payload
+        if not has_structure:
+            return
+        if key == self.source:
+            best = 0.0
+        ctx.emit(key, (sv, best))
+
+
+class SSSPPlainFormulation(PlainFormulation):
+    """One MapReduce job per Bellman-Ford relaxation."""
+
+    def __init__(self, algorithm: SSSP, dataset: WeightedGraph, num_reducers: int = 8) -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.num_reducers = num_reducers
+        self._dfs = None
+        self._iteration = 0
+        self._base = f"/{algorithm.name}/plain"
+
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        self._dfs = dfs
+        records = [
+            (i, (self.dataset.value_of(i), state.get(i, self.algorithm.init_state_value(i))))
+            for i in sorted(self.dataset.out_links)
+        ]
+        dfs.write(f"{self._base}/iter0", records, overwrite=True)
+        self._iteration = 0
+
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        source = self.algorithm.source
+        jobconf = JobConf(
+            name=f"sssp-plain-{iteration}",
+            mapper=_PlainSSSPMapper,
+            reducer=lambda: _PlainSSSPReducer(source),
+            inputs=[f"{self._base}/iter{iteration}"],
+            output=f"{self._base}/iter{iteration + 1}",
+            num_reducers=self.num_reducers,
+        )
+        result = engine.run(jobconf)
+        self._iteration = iteration + 1
+        return result.metrics
+
+    def current_state(self) -> Dict[Any, Any]:
+        assert self._dfs is not None, "prepare() must run first"
+        return {
+            i: dist
+            for i, (_, dist) in self._dfs.read(f"{self._base}/iter{self._iteration}")
+        }
+
+
+# ---------------------------------------------------------------------- #
+# HaLoop formulation                                                      #
+# ---------------------------------------------------------------------- #
+
+
+class _HaLoopSSSPJoinReducer(Reducer):
+    def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        links: Tuple[Any, ...] = ()
+        dist = INF
+        for tag, payload in values:
+            if tag == "N":
+                links = payload[0]
+            else:
+                dist = payload
+        ctx.emit(key, ("D", INF))
+        if dist != INF:
+            for j, w in links:
+                ctx.emit(j, ("D", dist + w))
+
+
+class _HaLoopSSSPAggReducer(Reducer):
+    def __init__(self, source: int) -> None:
+        self.source = source
+
+    def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        best = min(payload for _, payload in values)
+        if key == self.source:
+            best = 0.0
+        ctx.emit(key, ("D", best))
+
+
+class SSSPHaLoopFormulation(HaLoopFormulation):
+    """Join job (cached structure) + aggregation job per iteration."""
+
+    def __init__(self, algorithm: SSSP, dataset: WeightedGraph, num_reducers: int = 8) -> None:
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.num_reducers = num_reducers
+        self._dfs = None
+        self._iteration = 0
+        self._base = f"/{algorithm.name}/haloop"
+
+    @property
+    def structure_path(self) -> str:
+        return f"{self._base}/structure"
+
+    def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        self._dfs = dfs
+        dfs.write(
+            self.structure_path,
+            [(i, ("N", self.dataset.value_of(i))) for i in sorted(self.dataset.out_links)],
+            overwrite=True,
+        )
+        dfs.write(
+            f"{self._base}/state0",
+            [
+                (i, ("D", state.get(i, self.algorithm.init_state_value(i))))
+                for i in sorted(self.dataset.out_links)
+            ],
+            overwrite=True,
+        )
+        self._iteration = 0
+
+    def run_iteration(self, engine: Any, iteration: int) -> Any:
+        source = self.algorithm.source
+        join_job = JobConf(
+            name=f"sssp-haloop-join-{iteration}",
+            mapper=IdentityMapper,
+            reducer=_HaLoopSSSPJoinReducer,
+            inputs=[self.structure_path, f"{self._base}/state{iteration}"],
+            output=f"{self._base}/contrib{iteration}",
+            num_reducers=self.num_reducers,
+        )
+        metrics = engine.run_loop_job(
+            join_job,
+            loop_id="sssp-join",
+            iteration=iteration,
+            reducer_cached_inputs=[self.structure_path],
+        ).metrics
+        agg_job = JobConf(
+            name=f"sssp-haloop-agg-{iteration}",
+            mapper=IdentityMapper,
+            reducer=lambda: _HaLoopSSSPAggReducer(source),
+            inputs=[f"{self._base}/contrib{iteration}"],
+            output=f"{self._base}/state{iteration + 1}",
+            num_reducers=self.num_reducers,
+        )
+        metrics.merge(
+            engine.run_loop_job(
+                agg_job, loop_id="sssp-agg", iteration=iteration
+            ).metrics
+        )
+        self._iteration = iteration + 1
+        return metrics
+
+    def current_state(self) -> Dict[Any, Any]:
+        assert self._dfs is not None, "prepare() must run first"
+        return {
+            i: dist
+            for i, (_, dist) in self._dfs.read(
+                f"{self._base}/state{self._iteration}"
+            )
+        }

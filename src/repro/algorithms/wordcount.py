@@ -1,0 +1,30 @@
+"""WordCount — the canonical accumulator-Reduce example (§3.5)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.incremental.api import SumReducer
+from repro.mapreduce.api import Context, Mapper
+
+
+class WordCountMapper(Mapper):
+    """Emits ``(word, 1)`` per word occurrence."""
+
+    def map(self, key: Any, value: Any, ctx: Context) -> None:
+        for word in value.split():
+            ctx.emit(word, 1)
+
+
+class WordCountReducer(SumReducer):
+    """Integer-sum accumulator (WordCount "satisfies the distributive
+    property", §3.5)."""
+
+
+def reference_wordcount(documents: Iterable[Tuple[Any, str]]) -> Dict[str, int]:
+    """Exact counts for correctness checks."""
+    counts: Dict[str, int] = {}
+    for _, text in documents:
+        for word in text.split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts

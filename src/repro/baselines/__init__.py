@@ -1,0 +1,6 @@
+"""Comparison systems: PlainMR recomputation, HaLoop, Spark-like, Incoop-like."""
+
+from repro.baselines.haloop import HaLoopDriver, HaLoopEngine
+from repro.baselines.plainmr import PlainMRDriver, RecompResult
+
+__all__ = ["HaLoopDriver", "HaLoopEngine", "PlainMRDriver", "RecompResult"]

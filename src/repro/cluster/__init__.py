@@ -1,0 +1,17 @@
+"""Simulated cluster: cost model, scheduler, metrics."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CostModel, zero_overhead_model
+from repro.cluster.metrics import Counters, JobMetrics, StageTimes
+from repro.cluster.skew import MitigatedSchedule, schedule_with_skew_mitigation
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "zero_overhead_model",
+    "Counters",
+    "JobMetrics",
+    "StageTimes",
+    "MitigatedSchedule",
+    "schedule_with_skew_mitigation",
+]

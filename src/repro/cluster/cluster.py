@@ -1,0 +1,66 @@
+"""The simulated cluster: a pool of workers plus a cost model.
+
+The cluster is deliberately thin — engines do the heavy lifting — but it
+owns the three globals every engine needs: the worker pool, the cost
+model, and a deterministic seed for anything stochastic (block placement,
+failure timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.scheduler import ScheduleResult, TaskSpec, schedule_stage
+from repro.common import config
+
+
+@dataclass
+class Cluster:
+    """A deterministic simulated cluster.
+
+    Attributes:
+        num_workers: number of worker machines (the paper used 32
+            m1.medium EC2 instances; laptop-scale runs default to 8).
+        cost_model: conversion rates from work to simulated seconds.
+        seed: seed for all stochastic placement decisions.
+    """
+
+    num_workers: int = config.DEFAULT_NUM_WORKERS
+    cost_model: CostModel = field(default_factory=CostModel)
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self._rng = np.random.RandomState(self.seed)
+
+    @property
+    def workers(self) -> List[int]:
+        """Worker ids, ``0 .. num_workers-1``."""
+        return list(range(self.num_workers))
+
+    def rng(self) -> np.random.RandomState:
+        """The cluster's seeded random generator (shared, stateful)."""
+        return self._rng
+
+    def fresh_rng(self, salt: int = 0) -> np.random.RandomState:
+        """An independent generator derived from the cluster seed."""
+        return np.random.RandomState((self.seed * 1_000_003 + salt) % (2**32))
+
+    def pick_replica_workers(self, count: int) -> List[int]:
+        """Choose ``count`` distinct workers for block replicas."""
+        count = min(count, self.num_workers)
+        return list(self._rng.choice(self.num_workers, size=count, replace=False))
+
+    def run_tasks(
+        self,
+        tasks: Sequence[TaskSpec],
+        include_task_overhead: bool = True,
+    ) -> ScheduleResult:
+        """Schedule a stage of tasks on this cluster's workers."""
+        overhead = self.cost_model.task_overhead_s if include_task_overhead else 0.0
+        return schedule_stage(tasks, self.num_workers, task_overhead_s=overhead)

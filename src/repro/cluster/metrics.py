@@ -1,0 +1,106 @@
+"""Metric containers shared by every engine.
+
+``StageTimes`` records simulated seconds per MapReduce stage and supports
+addition so per-iteration timings roll up into job totals (Fig 9 reports
+exactly these stages).  ``Counters`` is a free-form named tally used for
+byte counts, record counts, I/O request counts (Table 4) and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+STAGES = ("startup", "map", "shuffle", "sort", "reduce", "merge", "checkpoint")
+
+
+@dataclass
+class StageTimes:
+    """Simulated seconds attributed to each MapReduce stage."""
+
+    startup: float = 0.0
+    map: float = 0.0
+    shuffle: float = 0.0
+    sort: float = 0.0
+    reduce: float = 0.0
+    merge: float = 0.0
+    checkpoint: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total simulated seconds across all stages."""
+        return sum(getattr(self, stage) for stage in STAGES)
+
+    def add(self, other: "StageTimes") -> None:
+        """Accumulate another :class:`StageTimes` into this one."""
+        for stage in STAGES:
+            setattr(self, stage, getattr(self, stage) + getattr(other, stage))
+
+    def __add__(self, other: "StageTimes") -> "StageTimes":
+        result = StageTimes()
+        result.add(self)
+        result.add(other)
+        return result
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stage name to seconds mapping (plus ``total``)."""
+        out = {stage: getattr(self, stage) for stage in STAGES}
+        out["total"] = self.total
+        return out
+
+    def scaled(self, factor: float) -> "StageTimes":
+        """Return a copy with every stage multiplied by ``factor``."""
+        result = StageTimes()
+        for stage in STAGES:
+            setattr(result, stage, getattr(self, stage) * factor)
+        return result
+
+
+class Counters:
+    """Named integer tallies (records, bytes, I/O requests, ...)."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one."""
+        for name, amount in other._values.items():
+            self.add(name, amount)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate ``(name, value)`` pairs in sorted name order."""
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the underlying mapping."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"Counters({body})"
+
+
+@dataclass
+class JobMetrics:
+    """Result metrics of one (possibly iterative) engine run."""
+
+    times: StageTimes = field(default_factory=StageTimes)
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated seconds of the run."""
+        return self.times.total
+
+    def merge(self, other: "JobMetrics") -> None:
+        """Accumulate another run's metrics into this one."""
+        self.times.add(other.times)
+        self.counters.merge(other.counters)

@@ -1,0 +1,88 @@
+"""Online skew mitigation (§6.2 — the paper's future-work extension).
+
+§6.2 sketches integrating SkewTune-style repartitioning: identify the
+task with the greatest expected remaining time and proactively
+repartition its unprocessed input across idle workers.  The paper leaves
+the implementation to future work; this module provides the scheduling
+half as an opt-in refinement over the LPT schedule:
+
+1. run the normal LPT/locality schedule;
+2. find the straggling worker (the makespan owner) and its last task;
+3. once every other worker drains, split that task's remaining work
+   across the whole cluster, paying a repartition overhead (state —
+   for prime Reduce tasks, the MRBG-Store slice — must be split and
+   moved, which is exactly the challenge §6.2 calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.scheduler import ScheduleResult, TaskSpec, schedule_stage
+
+
+@dataclass
+class MitigatedSchedule:
+    """Outcome of skew mitigation on one stage."""
+
+    base: ScheduleResult
+    elapsed_s: float
+    mitigated: bool
+    straggler_task: str = ""
+    saved_s: float = 0.0
+
+
+def schedule_with_skew_mitigation(
+    tasks: Sequence[TaskSpec],
+    num_workers: int,
+    task_overhead_s: float = 0.0,
+    repartition_overhead_s: float = 0.5,
+    min_benefit_s: float = 0.0,
+) -> MitigatedSchedule:
+    """LPT schedule plus one SkewTune-style straggler split.
+
+    Args:
+        repartition_overhead_s: fixed cost of scanning/splitting the
+            straggler's remaining input and shipping state slices.
+        min_benefit_s: only mitigate when the projected saving exceeds
+            this (repartitioning tiny stragglers is not worth the churn).
+    """
+    base = schedule_stage(tasks, num_workers, task_overhead_s=task_overhead_s)
+    if not tasks or num_workers <= 1:
+        return MitigatedSchedule(base=base, elapsed_s=base.elapsed_s, mitigated=False)
+
+    loads = list(base.worker_loads)
+    straggler_worker = max(range(num_workers), key=lambda w: loads[w])
+    others = [loads[w] for w in range(num_workers) if w != straggler_worker]
+    second = max(others) if others else 0.0
+    excess = loads[straggler_worker] - second
+    if excess <= 0:
+        return MitigatedSchedule(base=base, elapsed_s=base.elapsed_s, mitigated=False)
+
+    # The straggler's final task is the one SkewTune would split; only
+    # its portion still running after the other workers drain can move.
+    straggler_tasks = sorted(
+        (task for task in tasks if base.assignment[task.task_id] == straggler_worker),
+        key=lambda t: t.cost_s,
+    )
+    if not straggler_tasks:
+        return MitigatedSchedule(base=base, elapsed_s=base.elapsed_s, mitigated=False)
+    candidate = straggler_tasks[-1]
+    movable = min(excess, candidate.cost_s)
+
+    mitigated_elapsed = (
+        max(second, loads[straggler_worker] - movable)
+        + repartition_overhead_s
+        + movable / num_workers
+    )
+    saved = base.elapsed_s - mitigated_elapsed
+    if saved <= min_benefit_s:
+        return MitigatedSchedule(base=base, elapsed_s=base.elapsed_s, mitigated=False)
+    return MitigatedSchedule(
+        base=base,
+        elapsed_s=mitigated_elapsed,
+        mitigated=True,
+        straggler_task=candidate.task_id,
+        saved_s=saved,
+    )

@@ -1,0 +1,7 @@
+"""Shared kernel: kv-pair model, serialization, hashing, configuration."""
+
+from repro.common import config
+from repro.common.errors import ReproError
+from repro.common.kvpair import DeltaRecord, Op, delete, insert, update
+
+__all__ = ["config", "ReproError", "DeltaRecord", "Op", "delete", "insert", "update"]

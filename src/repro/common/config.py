@@ -1,0 +1,50 @@
+"""Library-wide configuration defaults.
+
+These constants mirror the defaults stated in the paper:
+
+- the MRBG-Store read-window gap threshold ``T`` is 100 KB (§3.4),
+- the change-propagation filter threshold defaults to 1 (§8.5 notes all
+  earlier experiments use FT = 1),
+- MRBGraph maintenance auto-disables when the delta-state proportion
+  ``P∆`` exceeds 50 % (§5.2),
+- Hadoop job startup is "over 20 seconds" (§4.2), and
+- TaskTracker heartbeats arrive every 3 seconds (§6.1).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+#: MRBG-Store dynamic read-window gap threshold ``T`` (bytes), paper §3.4.
+DEFAULT_GAP_THRESHOLD = 100 * KB
+
+#: MRBG-Store read cache capacity (bytes).
+DEFAULT_READ_CACHE_SIZE = 4 * MB
+
+#: MRBG-Store append buffer capacity (bytes) before a sequential flush.
+DEFAULT_APPEND_BUFFER_SIZE = 1 * MB
+
+#: Change-propagation-control filter threshold default (§8.5).
+DEFAULT_FILTER_THRESHOLD = 1.0
+
+#: MRBGraph maintenance auto-off threshold on ``P∆`` (§5.2).
+DEFAULT_PDELTA_THRESHOLD = 0.5
+
+#: Simulated HDFS block size (bytes).  The paper quotes 64 MB; the default
+#: here is smaller so laptop-scale datasets still split into enough blocks
+#: to exercise multi-task scheduling.
+DEFAULT_BLOCK_SIZE = 4 * MB
+
+#: Hadoop job startup cost in simulated seconds (§4.2: "over 20 seconds").
+DEFAULT_JOB_STARTUP_S = 20.0
+
+#: TaskTracker heartbeat interval in simulated seconds (§6.1).
+DEFAULT_HEARTBEAT_S = 3.0
+
+#: Default number of simulated worker machines (paper uses 32 EC2 nodes).
+DEFAULT_NUM_WORKERS = 8
+
+#: Default DFS replication factor.
+DEFAULT_REPLICATION = 3

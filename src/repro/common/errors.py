@@ -1,0 +1,63 @@
+"""Exception hierarchy for the i2MapReduce reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SerializationError(ReproError):
+    """A value could not be encoded to or decoded from the binary format."""
+
+
+class DFSError(ReproError):
+    """Base class for distributed-file-system errors."""
+
+
+class FileNotFoundInDFS(DFSError):
+    """The requested DFS path does not exist."""
+
+
+class FileAlreadyExists(DFSError):
+    """A DFS path was written twice without overwrite permission."""
+
+
+class JobError(ReproError):
+    """A MapReduce job was misconfigured or failed during execution."""
+
+
+class InvalidJobConf(JobError):
+    """A job configuration failed validation before execution."""
+
+
+class TaskFailure(JobError):
+    """A simulated task failure (used by the fault-injection machinery)."""
+
+    def __init__(self, task_id: str, message: str = "") -> None:
+        super().__init__(message or f"task {task_id} failed")
+        self.task_id = task_id
+
+
+class StoreError(ReproError):
+    """Base class for MRBG-Store errors."""
+
+
+class StoreClosedError(StoreError):
+    """An operation was attempted on a closed MRBG-Store."""
+
+
+class ChunkNotFound(StoreError):
+    """A queried chunk key is not present in the MRBG-Store index."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"chunk not found for key {key!r}")
+        self.key = key
+
+
+class ConvergenceError(ReproError):
+    """An iterative computation failed to converge within its budget."""

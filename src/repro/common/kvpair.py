@@ -1,0 +1,118 @@
+"""Key-value pair model shared by every engine in the library.
+
+MapReduce computations in this reproduction operate on plain Python
+``(key, value)`` tuples.  Keys must be *orderable* across the heterogeneous
+types that real workloads mix (ints, strings, tuples of those), because the
+shuffle phase sorts by key exactly like Hadoop sorts by serialized key
+bytes.  :func:`sort_key` provides that total order.
+
+Delta inputs (paper §3.3) are streams of :class:`DeltaRecord`; an update is
+represented as a deletion of the old record followed by an insertion of the
+new one, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Iterator, NamedTuple, Tuple
+
+
+class Op(enum.Enum):
+    """Delta operation marker: ``+`` for insert, ``-`` for delete."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DeltaRecord(NamedTuple):
+    """One record of a delta input file.
+
+    Attributes:
+        key: the Map input key ``K1``.
+        value: the Map input value ``V1`` (for deletions, the *old* value,
+            so the engine can re-derive the MRBGraph edges to remove).
+        op: :data:`Op.INSERT` or :data:`Op.DELETE`.
+    """
+
+    key: Any
+    value: Any
+    op: Op
+
+
+def insert(key: Any, value: Any) -> DeltaRecord:
+    """Build an insertion delta record (``+`` in the paper's notation)."""
+    return DeltaRecord(key, value, Op.INSERT)
+
+
+def delete(key: Any, value: Any) -> DeltaRecord:
+    """Build a deletion delta record (``-`` in the paper's notation)."""
+    return DeltaRecord(key, value, Op.DELETE)
+
+
+def update(key: Any, old_value: Any, new_value: Any) -> Tuple[DeltaRecord, DeltaRecord]:
+    """Represent an update as a deletion followed by an insertion (§3.1)."""
+    return delete(key, old_value), insert(key, new_value)
+
+
+# Type ranks give a total order across the key types workloads actually mix.
+_RANK_NONE = 0
+_RANK_BOOL = 1
+_RANK_NUM = 2
+_RANK_STR = 3
+_RANK_BYTES = 4
+_RANK_TUPLE = 5
+
+
+def sort_key(key: Any) -> Tuple:
+    """Return a tuple that totally orders heterogeneous MapReduce keys.
+
+    Numbers order among themselves, strings among themselves, and tuples
+    recursively; distinct types order by a fixed type rank.  This mirrors
+    Hadoop, where keys are ordered by their serialized byte representation.
+
+    Raises:
+        TypeError: for key types the library does not support.
+    """
+    if key is None:
+        return (_RANK_NONE,)
+    if isinstance(key, bool):
+        return (_RANK_BOOL, key)
+    if isinstance(key, (int, float)):
+        return (_RANK_NUM, key)
+    if isinstance(key, str):
+        return (_RANK_STR, key)
+    if isinstance(key, bytes):
+        return (_RANK_BYTES, key)
+    if isinstance(key, tuple):
+        return (_RANK_TUPLE, tuple(sort_key(part) for part in key))
+    raise TypeError(f"unsupported MapReduce key type: {type(key).__name__}")
+
+
+def sorted_by_key(pairs: Iterable[Tuple[Any, Any]]) -> list:
+    """Sort ``(key, value)`` pairs by :func:`sort_key` of the key."""
+    return sorted(pairs, key=lambda kv: sort_key(kv[0]))
+
+
+def group_sorted(pairs: Iterable[Tuple[Any, Any]]) -> Iterator[Tuple[Any, list]]:
+    """Group an already key-sorted pair stream into ``(key, [values])``.
+
+    The input must be sorted by key (as the shuffle phase guarantees);
+    groups are yielded in key order with values in arrival order.
+    """
+    current_key: Any = None
+    current_values: list = []
+    have_group = False
+    for key, value in pairs:
+        if have_group and key == current_key:
+            current_values.append(value)
+        else:
+            if have_group:
+                yield current_key, current_values
+            current_key = key
+            current_values = [value]
+            have_group = True
+    if have_group:
+        yield current_key, current_values

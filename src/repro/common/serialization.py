@@ -1,0 +1,182 @@
+"""Binary serialization for records stored on disk by the MRBG-Store.
+
+The format is a compact, self-describing, type-tagged encoding supporting
+the value types that flow through the engines: ``None``, ``bool``, ``int``,
+``float``, ``str``, ``bytes``, ``tuple``, ``list`` and ``dict``.  It is
+used for the *real* on-disk MRBGraph chunk files, so Table 4's byte counts
+are measured from genuine encoded sizes.
+
+The encoding is deliberately pickle-free: it is deterministic, versioned by
+construction (one tag byte per value) and safe to read back from untrusted
+files.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+from repro.common.errors import SerializationError
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_TUPLE = 0x07
+_TAG_LIST = 0x08
+_TAG_DICT = 0x09
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` to bytes.
+
+    Raises:
+        SerializationError: if the value (or a nested element) has an
+            unsupported type, or an int exceeds 64 bits.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        try:
+            out += _I64.pack(value)
+        except struct.error as exc:
+            raise SerializationError(f"int out of 64-bit range: {value}") from exc
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, list):
+        out.append(_TAG_LIST)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out += _U32.pack(len(value))
+        for key, val in value.items():
+            _encode_into(key, out)
+            _encode_into(val, out)
+    else:
+        raise SerializationError(
+            f"unsupported type for serialization: {type(value).__name__}"
+        )
+
+
+def decode(buf: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Decode one value from ``buf`` starting at ``offset``.
+
+    Returns:
+        ``(value, next_offset)``.
+
+    Raises:
+        SerializationError: on truncated or corrupt input.
+    """
+    try:
+        return _decode_at(buf, offset)
+    except (struct.error, IndexError) as exc:
+        raise SerializationError(f"corrupt encoding at offset {offset}") from exc
+
+
+def _decode_at(buf: bytes, offset: int) -> Tuple[Any, int]:
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        (value,) = _I64.unpack_from(buf, offset)
+        return value, offset + 8
+    if tag == _TAG_FLOAT:
+        (value,) = _F64.unpack_from(buf, offset)
+        return value, offset + 8
+    if tag == _TAG_STR:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        end = offset + length
+        if end > len(buf):
+            raise SerializationError("truncated string")
+        return buf[offset:end].decode("utf-8"), end
+    if tag == _TAG_BYTES:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        end = offset + length
+        if end > len(buf):
+            raise SerializationError("truncated bytes")
+        return bytes(buf[offset:end]), end
+    if tag in (_TAG_TUPLE, _TAG_LIST):
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        items = []
+        for _ in range(length):
+            item, offset = _decode_at(buf, offset)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), offset
+    if tag == _TAG_DICT:
+        (length,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        result = {}
+        for _ in range(length):
+            key, offset = _decode_at(buf, offset)
+            val, offset = _decode_at(buf, offset)
+            result[key] = val
+        return result, offset
+    raise SerializationError(f"unknown tag byte 0x{tag:02x}")
+
+
+def encode_record(key: Any, value: Any) -> bytes:
+    """Encode a ``(key, value)`` record as one length-prefixed unit."""
+    body = encode((key, value))
+    return _U32.pack(len(body)) + body
+
+
+def decode_record(buf: bytes, offset: int = 0) -> Tuple[Any, Any, int]:
+    """Decode one record produced by :func:`encode_record`.
+
+    Returns:
+        ``(key, value, next_offset)``.
+    """
+    (length,) = _U32.unpack_from(buf, offset)
+    offset += 4
+    end = offset + length
+    if end > len(buf):
+        raise SerializationError("truncated record")
+    pair, consumed = decode(buf, offset)
+    if consumed != end:
+        raise SerializationError("record length mismatch")
+    if not isinstance(pair, tuple) or len(pair) != 2:
+        raise SerializationError("record body is not a (key, value) pair")
+    return pair[0], pair[1], end

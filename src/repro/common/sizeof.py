@@ -1,0 +1,55 @@
+"""Fast deterministic size estimation for simulated I/O accounting.
+
+The cluster simulator charges disk and network time proportional to the
+number of bytes a record *would* occupy in the binary format of
+:mod:`repro.common.serialization`, without actually encoding every record
+(that would dominate wall-clock time for large synthetic datasets).  The
+estimates below match the real encoder's sizes exactly for the supported
+types, so simulated byte counts agree with what the MRBG-Store measures
+when it really encodes chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+_LEN_PREFIX = 4  # u32 length prefix on records
+_TAG = 1
+
+
+def value_size(value: Any) -> int:
+    """Exact encoded size in bytes of ``value`` under the binary format."""
+    if value is None or value is True or value is False:
+        return _TAG
+    if isinstance(value, bool):  # numpy bools etc. fall through to here
+        return _TAG
+    if isinstance(value, int):
+        return _TAG + 8
+    if isinstance(value, float):
+        return _TAG + 8
+    if isinstance(value, str):
+        return _TAG + 4 + len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return _TAG + 4 + len(value)
+    if isinstance(value, (tuple, list)):
+        return _TAG + 4 + sum(value_size(item) for item in value)
+    if isinstance(value, dict):
+        return (
+            _TAG
+            + 4
+            + sum(value_size(k) + value_size(v) for k, v in value.items())
+        )
+    # Unknown types are charged a flat conservative footprint rather than
+    # failing: the simulator may see user-defined values that are never
+    # persisted for real.
+    return 64
+
+
+def record_size(key: Any, value: Any) -> int:
+    """Encoded size of a ``(key, value)`` record (length prefix included)."""
+    return _LEN_PREFIX + _TAG + 4 + value_size(key) + value_size(value)
+
+
+def records_size(pairs: Iterable[Tuple[Any, Any]]) -> int:
+    """Total encoded size of a stream of ``(key, value)`` records."""
+    return sum(record_size(key, value) for key, value in pairs)

@@ -1,0 +1,46 @@
+"""Seeded synthetic dataset generators and delta mutators (Table 3 stand-ins)."""
+
+from repro.datasets.graphs import (
+    GraphDelta,
+    WebGraph,
+    WeightedGraph,
+    mutate_web_graph,
+    mutate_weighted_graph,
+    powerlaw_web_graph,
+    weighted_graph_from,
+)
+from repro.datasets.matrices import (
+    BlockMatrixDataset,
+    MatrixDelta,
+    block_matrix,
+    mutate_matrix,
+)
+from repro.datasets.points import (
+    PointsDataset,
+    PointsDelta,
+    gaussian_points,
+    mutate_points,
+)
+from repro.datasets.text import TweetDataset, TweetDelta, new_tweets, zipf_tweets
+
+__all__ = [
+    "GraphDelta",
+    "WebGraph",
+    "WeightedGraph",
+    "mutate_web_graph",
+    "mutate_weighted_graph",
+    "powerlaw_web_graph",
+    "weighted_graph_from",
+    "BlockMatrixDataset",
+    "MatrixDelta",
+    "block_matrix",
+    "mutate_matrix",
+    "PointsDataset",
+    "PointsDelta",
+    "gaussian_points",
+    "mutate_points",
+    "TweetDataset",
+    "TweetDelta",
+    "new_tweets",
+    "zipf_tweets",
+]

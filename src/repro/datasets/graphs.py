@@ -1,0 +1,282 @@
+"""Synthetic web-graph generators (ClueWeb / ClueWeb2 stand-ins).
+
+The paper's ClueWeb data sets are 20M-page crawls; this module generates
+seeded power-law graphs of laptop scale with the same structural features
+PageRank and SSSP care about: skewed in-degree (a few hub pages attract
+most links) and evolving structure (rewired links, page insertions and
+deletions).  Deltas follow the paper's §3.3 convention — an update is a
+deletion of the old record plus an insertion of the new one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.kvpair import DeltaRecord, Op, delete, insert
+
+
+@dataclass
+class WebGraph:
+    """A directed web graph stored as adjacency lists.
+
+    ``payload`` models the paper's trick of substituting node identifiers
+    with longer strings "to make the structure data larger without
+    changing the graph structure" (§8.1.4) — every vertex record carries
+    this extra blob, inflating structure bytes relative to the
+    intermediate rank contributions.
+    """
+
+    out_links: Dict[int, Tuple[int, ...]]
+    payload: str = ""
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.out_links)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(links) for links in self.out_links.values())
+
+    def value_of(self, v: int) -> Tuple[Tuple[int, ...], str]:
+        """The structure value ``SV`` of vertex ``v``: (links, payload)."""
+        return (self.out_links[v], self.payload)
+
+    def copy(self) -> "WebGraph":
+        """Deep-enough copy (link tuples are immutable)."""
+        return WebGraph(dict(self.out_links), self.payload)
+
+
+@dataclass
+class WeightedGraph:
+    """A directed graph with edge weights (for SSSP)."""
+
+    out_links: Dict[int, Tuple[Tuple[int, float], ...]]
+    source: int = 0
+    payload: str = ""
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.out_links)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(links) for links in self.out_links.values())
+
+    def value_of(self, v: int) -> Tuple[Tuple[Tuple[int, float], ...], str]:
+        """The structure value ``SV`` of vertex ``v``: (wlinks, payload)."""
+        return (self.out_links[v], self.payload)
+
+    def copy(self) -> "WeightedGraph":
+        return WeightedGraph(dict(self.out_links), self.source, self.payload)
+
+
+@dataclass
+class GraphDelta:
+    """A structure delta: the mutated graph plus the +/- record stream."""
+
+    new_graph: object
+    records: List[DeltaRecord]
+
+    @property
+    def num_changed_records(self) -> int:
+        return len(self.records)
+
+
+def _pick_targets(
+    rng: np.random.RandomState,
+    vertex_ids: np.ndarray,
+    count: int,
+    exclude: int,
+) -> Tuple[int, ...]:
+    """Choose link targets with a Zipf-skewed preference for low ids."""
+    if count <= 0 or len(vertex_ids) <= 1:
+        return ()
+    # Zipf rank sampling clipped to the vertex range gives hub structure.
+    ranks = rng.zipf(1.6, size=count * 2) - 1
+    ranks = ranks[ranks < len(vertex_ids)]
+    chosen: List[int] = []
+    seen = set()
+    for rank in ranks:
+        target = int(vertex_ids[rank])
+        if target != exclude and target not in seen:
+            seen.add(target)
+            chosen.append(target)
+        if len(chosen) == count:
+            break
+    while len(chosen) < count:
+        target = int(vertex_ids[rng.randint(len(vertex_ids))])
+        if target != exclude and target not in seen:
+            seen.add(target)
+            chosen.append(target)
+    return tuple(chosen)
+
+
+def powerlaw_web_graph(
+    num_vertices: int,
+    avg_out_degree: float = 8.0,
+    seed: int = 0,
+    payload_bytes: int = 0,
+) -> WebGraph:
+    """Generate a power-law web graph.
+
+    Out-degrees are geometric around ``avg_out_degree``; in-degrees are
+    Zipf-skewed (hub pages), mirroring real web-crawl structure.
+    ``payload_bytes`` inflates every vertex record (the paper's
+    longer-identifier trick, §8.1.4).
+    """
+    if num_vertices <= 1:
+        raise ValueError("num_vertices must be at least 2")
+    rng = np.random.RandomState(seed)
+    vertex_ids = np.arange(num_vertices)
+    # Shuffle so hubs are spread across the id space (and therefore across
+    # hash partitions).
+    rng.shuffle(vertex_ids)
+    out_links: Dict[int, Tuple[int, ...]] = {}
+    degrees = rng.geometric(1.0 / avg_out_degree, size=num_vertices)
+    for v in range(num_vertices):
+        degree = int(min(degrees[v], max(2, num_vertices // 2)))
+        out_links[v] = _pick_targets(rng, vertex_ids, degree, exclude=v)
+    return WebGraph(out_links, payload="x" * payload_bytes)
+
+
+def weighted_graph_from(
+    graph: WebGraph,
+    seed: int = 0,
+    mean_weight: float = 1.0,
+    std_weight: float = 0.25,
+    source: int = 0,
+) -> WeightedGraph:
+    """Attach Gaussian edge weights to a web graph (the ClueWeb2 recipe).
+
+    The paper built ClueWeb2 for SSSP by "adding each edge with a random
+    weight following gaussian distribution"; weights are clipped to stay
+    positive.
+    """
+    rng = np.random.RandomState(seed)
+    out_links: Dict[int, Tuple[Tuple[int, float], ...]] = {}
+    for v, targets in graph.out_links.items():
+        weights = np.clip(
+            rng.normal(mean_weight, std_weight, size=len(targets)), 0.05, None
+        )
+        out_links[v] = tuple(
+            (int(j), float(round(w, 4))) for j, w in zip(targets, weights)
+        )
+    return WeightedGraph(out_links, source=source, payload=graph.payload)
+
+
+def mutate_web_graph(
+    graph: WebGraph,
+    fraction: float,
+    seed: int = 0,
+    insert_fraction: float = 0.1,
+    delete_fraction: float = 0.05,
+) -> GraphDelta:
+    """Randomly change a fraction of the graph's vertex records.
+
+    Changes mirror the paper's Fig 3 example: most changed vertices get
+    rewired out-links (a deletion of the old record plus an insertion of
+    the new one), a few vertices are deleted outright (with their
+    in-neighbors rewired to drop dangling links, as a recrawl would), and
+    a few brand-new vertices are inserted.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rng = np.random.RandomState(seed + 7919)
+    pay = graph.payload
+    new_links = dict(graph.out_links)
+    records: List[DeltaRecord] = []
+    vertices = sorted(graph.out_links)
+    num_changes = int(round(fraction * len(vertices)))
+    if num_changes == 0:
+        return GraphDelta(WebGraph(new_links, pay), records)
+
+    changed = rng.choice(len(vertices), size=num_changes, replace=False)
+    changed_ids = [vertices[i] for i in changed]
+    num_delete = int(len(changed_ids) * delete_fraction)
+    num_insert = int(len(changed_ids) * insert_fraction)
+    to_delete = set(changed_ids[:num_delete])
+    to_rewire = set(changed_ids[num_delete:])
+
+    # Deleting a page also rewires every in-neighbor to drop the dead link.
+    in_neighbors: Dict[int, List[int]] = {}
+    if to_delete:
+        for v, targets in graph.out_links.items():
+            for j in targets:
+                if j in to_delete:
+                    in_neighbors.setdefault(j, []).append(v)
+
+    touched: Dict[int, Tuple[int, ...]] = {}
+
+    for v in sorted(to_delete):
+        records.append(delete(v, (graph.out_links[v], pay)))
+        del new_links[v]
+        for u in in_neighbors.get(v, ()):
+            if u in to_delete:
+                continue
+            touched.setdefault(u, graph.out_links[u])
+
+    for u, old in touched.items():
+        pruned = tuple(j for j in new_links.get(u, old) if j not in to_delete)
+        if u in new_links:
+            records.append(delete(u, (new_links[u], pay)))
+            records.append(insert(u, (pruned, pay)))
+            new_links[u] = pruned
+        to_rewire.discard(u)
+
+    alive = np.array(sorted(new_links), dtype=np.int64)
+    for v in sorted(to_rewire):
+        if v not in new_links:
+            continue
+        old = new_links[v]
+        degree = max(1, len(old) + int(rng.randint(-1, 2)))
+        new = _pick_targets(rng, alive, degree, exclude=v)
+        if new == old:
+            continue
+        records.append(delete(v, (old, pay)))
+        records.append(insert(v, (new, pay)))
+        new_links[v] = new
+
+    next_id = (max(graph.out_links) + 1) if graph.out_links else 0
+    for offset in range(num_insert):
+        v = next_id + offset
+        new = _pick_targets(rng, alive, max(1, int(rng.geometric(0.25))), exclude=v)
+        records.append(insert(v, (new, pay)))
+        new_links[v] = new
+
+    return GraphDelta(WebGraph(new_links, pay), records)
+
+
+def mutate_weighted_graph(
+    graph: WeightedGraph,
+    fraction: float,
+    seed: int = 0,
+) -> GraphDelta:
+    """Randomly reweight/rewire a fraction of a weighted graph's records."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rng = np.random.RandomState(seed + 104729)
+    pay = graph.payload
+    new_links = dict(graph.out_links)
+    records: List[DeltaRecord] = []
+    vertices = sorted(graph.out_links)
+    num_changes = int(round(fraction * len(vertices)))
+    if num_changes == 0:
+        return GraphDelta(WeightedGraph(new_links, graph.source, pay), records)
+    changed = rng.choice(len(vertices), size=num_changes, replace=False)
+    for i in changed:
+        v = vertices[i]
+        old = new_links[v]
+        if not old:
+            continue
+        new = tuple(
+            (j, float(round(max(0.05, w * rng.uniform(0.5, 1.5)), 4))) for j, w in old
+        )
+        if new == old:
+            continue
+        records.append(delete(v, (old, pay)))
+        records.append(insert(v, (new, pay)))
+        new_links[v] = new
+    return GraphDelta(WeightedGraph(new_links, graph.source, pay), records)

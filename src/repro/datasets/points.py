@@ -1,0 +1,131 @@
+"""Synthetic clustering points (BigCross stand-in) for Kmeans.
+
+The paper's BigCross data set is 46M points in 57 dimensions; this module
+generates seeded Gaussian-mixture points of laptop scale with the same
+properties Kmeans cares about: clusterable structure and an evolving point
+population (insertions, deletions, movements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.kvpair import DeltaRecord, delete, insert
+
+
+@dataclass
+class PointsDataset:
+    """Points plus the initial centroid choice for Kmeans."""
+
+    points: Dict[int, Tuple[float, ...]]
+    initial_centroids: Tuple[Tuple[int, Tuple[float, ...]], ...]
+    dim: int
+    k: int
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    def copy(self) -> "PointsDataset":
+        return PointsDataset(dict(self.points), self.initial_centroids, self.dim, self.k)
+
+
+@dataclass
+class PointsDelta:
+    """A mutated dataset plus its +/- record stream."""
+
+    new_dataset: PointsDataset
+    records: List[DeltaRecord]
+
+
+def _round_tuple(vec: np.ndarray) -> Tuple[float, ...]:
+    return tuple(float(round(x, 4)) for x in vec)
+
+
+def gaussian_points(
+    num_points: int,
+    dim: int = 8,
+    k: int = 8,
+    seed: int = 0,
+    spread: float = 0.6,
+) -> PointsDataset:
+    """Generate a k-component Gaussian mixture.
+
+    The paper "randomly pick[s] 64 points from the whole data set" as
+    initial centers; here the first ``k`` generated points (which are
+    random) serve the same purpose.
+    """
+    if num_points < k:
+        raise ValueError("need at least k points")
+    rng = np.random.RandomState(seed)
+    centers = rng.uniform(-10.0, 10.0, size=(k, dim))
+    assignments = rng.randint(0, k, size=num_points)
+    coords = centers[assignments] + rng.normal(0.0, spread, size=(num_points, dim))
+    points = {pid: _round_tuple(coords[pid]) for pid in range(num_points)}
+    centroid_ids = rng.choice(num_points, size=k, replace=False)
+    initial = tuple(
+        (int(cid), points[int(pid)]) for cid, pid in enumerate(sorted(centroid_ids))
+    )
+    return PointsDataset(points=points, initial_centroids=initial, dim=dim, k=k)
+
+
+def mutate_points(
+    dataset: PointsDataset,
+    fraction: float,
+    seed: int = 0,
+    insert_fraction: float = 0.5,
+    delete_fraction: float = 0.2,
+) -> PointsDelta:
+    """Change a fraction of the point population.
+
+    A mix of newly arrived points (insertions), retired points
+    (deletions) and moved points (delete + insert of the same pid).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rng = np.random.RandomState(seed + 13)
+    new_points = dict(dataset.points)
+    records: List[DeltaRecord] = []
+    num_changes = int(round(fraction * dataset.num_points))
+    if num_changes == 0:
+        return PointsDelta(
+            PointsDataset(new_points, dataset.initial_centroids, dataset.dim, dataset.k),
+            records,
+        )
+
+    num_insert = int(num_changes * insert_fraction)
+    num_delete = int(num_changes * delete_fraction)
+    num_move = num_changes - num_insert - num_delete
+
+    pids = sorted(dataset.points)
+    victims = rng.choice(len(pids), size=num_delete + num_move, replace=False)
+    delete_ids = [pids[i] for i in victims[:num_delete]]
+    move_ids = [pids[i] for i in victims[num_delete:]]
+
+    for pid in delete_ids:
+        records.append(delete(pid, new_points[pid]))
+        del new_points[pid]
+
+    for pid in move_ids:
+        old = new_points[pid]
+        shift = rng.normal(0.0, 1.0, size=dataset.dim)
+        moved = _round_tuple(np.asarray(old) + shift)
+        records.append(delete(pid, old))
+        records.append(insert(pid, moved))
+        new_points[pid] = moved
+
+    next_pid = (max(dataset.points) + 1) if dataset.points else 0
+    for offset in range(num_insert):
+        pid = next_pid + offset
+        base = np.asarray(new_points[move_ids[0]] if move_ids else (0.0,) * dataset.dim)
+        fresh = _round_tuple(base + rng.normal(0.0, 5.0, size=dataset.dim))
+        records.append(insert(pid, fresh))
+        new_points[pid] = fresh
+
+    return PointsDelta(
+        PointsDataset(new_points, dataset.initial_centroids, dataset.dim, dataset.k),
+        records,
+    )

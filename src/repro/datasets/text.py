@@ -1,0 +1,104 @@
+"""Synthetic tweet streams (Twitter-crawl stand-in) for APriori.
+
+The paper mines frequent word pairs from a two-month, 52M-tweet crawl and
+uses the last week (7.9 % of the input) as the delta.  This module
+generates a seeded Zipf-vocabulary tweet stream with the same shape: a
+heavy-tailed word distribution so a small candidate-pair list covers most
+pair occurrences, and an insert-only delta representing newly collected
+tweets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.kvpair import DeltaRecord, insert
+
+
+@dataclass
+class TweetDataset:
+    """Tweets plus the candidate word-pair list mined in preprocessing."""
+
+    tweets: Dict[int, str]
+    candidate_pairs: Tuple[Tuple[str, str], ...]
+    vocab_size: int
+
+    @property
+    def num_tweets(self) -> int:
+        return len(self.tweets)
+
+
+@dataclass
+class TweetDelta:
+    """Newly collected tweets: an insert-only delta (§3.5 requirement)."""
+
+    new_dataset: TweetDataset
+    records: List[DeltaRecord]
+
+
+def _word(index: int) -> str:
+    return f"w{index:04d}"
+
+
+def zipf_tweets(
+    num_tweets: int,
+    vocab_size: int = 500,
+    words_per_tweet: int = 10,
+    num_candidates: int = 200,
+    seed: int = 0,
+) -> TweetDataset:
+    """Generate tweets whose words follow a Zipf distribution.
+
+    ``candidate_pairs`` lists the most likely frequent word pairs — the
+    output of the paper's preprocessing job that APriori's Map task loads
+    into memory.
+    """
+    if num_tweets <= 0:
+        raise ValueError("num_tweets must be positive")
+    rng = np.random.RandomState(seed)
+    ranks = rng.zipf(1.5, size=(num_tweets, words_per_tweet))
+    ranks = np.minimum(ranks - 1, vocab_size - 1)
+    tweets = {
+        tid: " ".join(_word(int(r)) for r in row) for tid, row in enumerate(ranks)
+    }
+    # Candidate pairs: the top sqrt-ish frequent words, pairwise.
+    top = int(np.ceil((2 * num_candidates) ** 0.5)) + 1
+    pairs = [
+        (_word(a), _word(b))
+        for a, b in itertools.combinations(range(top), 2)
+    ][:num_candidates]
+    return TweetDataset(
+        tweets=tweets, candidate_pairs=tuple(pairs), vocab_size=vocab_size
+    )
+
+
+def new_tweets(
+    dataset: TweetDataset,
+    fraction: float,
+    seed: int = 0,
+) -> TweetDelta:
+    """Collect ``fraction`` more tweets (insert-only delta).
+
+    The paper's delta is "the last week's messages", 7.9 % of the input.
+    """
+    if fraction < 0:
+        raise ValueError("fraction must be non-negative")
+    rng = np.random.RandomState(seed + 97)
+    count = int(round(fraction * dataset.num_tweets))
+    ranks = rng.zipf(1.5, size=(count, 10))
+    ranks = np.minimum(ranks - 1, dataset.vocab_size - 1)
+    next_id = (max(dataset.tweets) + 1) if dataset.tweets else 0
+    new = dict(dataset.tweets)
+    records: List[DeltaRecord] = []
+    for offset, row in enumerate(ranks):
+        tid = next_id + offset
+        text = " ".join(_word(int(r)) for r in row)
+        new[tid] = text
+        records.append(insert(tid, text))
+    return TweetDelta(
+        TweetDataset(new, dataset.candidate_pairs, dataset.vocab_size), records
+    )

@@ -1,0 +1,5 @@
+"""Block-structured distributed file system simulation (HDFS stand-in)."""
+
+from repro.dfs.filesystem import Block, DFSFile, DistributedFS
+
+__all__ = ["Block", "DFSFile", "DistributedFS"]

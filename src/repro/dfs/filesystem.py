@@ -1,0 +1,153 @@
+"""A block-structured distributed file system simulation (HDFS stand-in).
+
+Files are sequences of ``(key, value)`` records split into blocks of a
+configurable target byte size.  Each block is replicated on a set of
+workers; the MapReduce scheduler consults block locations to run map
+tasks data-locally (§2).  Record payloads are kept as Python objects for
+speed; byte sizes come from the exact size estimator so simulated I/O
+charges match what the real binary encoder would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.common import config
+from repro.common.errors import FileAlreadyExists, FileNotFoundInDFS
+from repro.common.sizeof import record_size
+
+
+@dataclass
+class Block:
+    """One replicated block of a DFS file."""
+
+    block_id: int
+    records: List[Tuple[Any, Any]]
+    size_bytes: int
+    locations: List[int]
+
+    @property
+    def num_records(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class DFSFile:
+    """Metadata and contents of one DFS file."""
+
+    path: str
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes for block in self.blocks)
+
+    @property
+    def num_records(self) -> int:
+        return sum(block.num_records for block in self.blocks)
+
+    def records(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate all records across blocks in file order."""
+        for block in self.blocks:
+            yield from block.records
+
+
+class DistributedFS:
+    """The namenode: path table plus block placement."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        block_size: int = config.DEFAULT_BLOCK_SIZE,
+        replication: int = config.DEFAULT_REPLICATION,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        self.cluster = cluster
+        self.block_size = block_size
+        self.replication = replication
+        self._files: Dict[str, DFSFile] = {}
+        self._next_block_id = 0
+
+    def write(
+        self,
+        path: str,
+        records: Iterable[Tuple[Any, Any]],
+        overwrite: bool = False,
+    ) -> DFSFile:
+        """Write ``records`` to ``path``, splitting into placed blocks.
+
+        Raises:
+            FileAlreadyExists: if the path exists and ``overwrite`` is False.
+        """
+        if path in self._files and not overwrite:
+            raise FileAlreadyExists(path)
+        dfs_file = DFSFile(path=path)
+        current: List[Tuple[Any, Any]] = []
+        current_size = 0
+        for key, value in records:
+            current.append((key, value))
+            current_size += record_size(key, value)
+            if current_size >= self.block_size:
+                dfs_file.blocks.append(self._seal_block(current, current_size))
+                current = []
+                current_size = 0
+        if current or not dfs_file.blocks:
+            dfs_file.blocks.append(self._seal_block(current, current_size))
+        self._files[path] = dfs_file
+        return dfs_file
+
+    def _seal_block(self, records: List[Tuple[Any, Any]], size: int) -> Block:
+        block = Block(
+            block_id=self._next_block_id,
+            records=records,
+            size_bytes=size,
+            locations=self.cluster.pick_replica_workers(self.replication),
+        )
+        self._next_block_id += 1
+        return block
+
+    def file(self, path: str) -> DFSFile:
+        """Look up file metadata.
+
+        Raises:
+            FileNotFoundInDFS: if the path does not exist.
+        """
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInDFS(path) from None
+
+    def read(self, path: str) -> Iterator[Tuple[Any, Any]]:
+        """Iterate the records of ``path`` in file order."""
+        return self.file(path).records()
+
+    def read_all(self, path: str) -> List[Tuple[Any, Any]]:
+        """Materialize all records of ``path`` as a list."""
+        return list(self.read(path))
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` exists."""
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove ``path``.
+
+        Raises:
+            FileNotFoundInDFS: if the path does not exist.
+        """
+        if path not in self._files:
+            raise FileNotFoundInDFS(path)
+        del self._files[path]
+
+    def ls(self, prefix: str = "") -> List[str]:
+        """List paths starting with ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def size(self, path: str) -> int:
+        """Total byte size of ``path``."""
+        return self.file(path).size_bytes

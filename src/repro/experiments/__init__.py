@@ -1,0 +1,31 @@
+"""Reproductions of every table and figure in the paper's §8 evaluation.
+
+One module per artifact:
+
+- :mod:`repro.experiments.onestep_apriori` — §8.2 one-step 12x speedup
+- :mod:`repro.experiments.fig8_overall` — Fig 8 normalized runtimes
+- :mod:`repro.experiments.fig9_stages` — Fig 9 stage breakdown
+- :mod:`repro.experiments.table4_mrbgstore` — Table 4 store optimizations
+- :mod:`repro.experiments.fig10_cpc` — Fig 10 CPC threshold sweep
+- :mod:`repro.experiments.fig11_propagation` — Fig 11 propagation (1 %)
+- :mod:`repro.experiments.fig12_spark` — Fig 12 / Table 5 Spark comparison
+- :mod:`repro.experiments.fig13_faults` — Fig 13 fault recovery
+- :mod:`repro.experiments.table3_datasets` — Table 3 data sets
+- :mod:`repro.experiments.ablation_incoop` — Incoop task-level ablation
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    data_scale_for,
+    format_table,
+    make_cluster,
+    scale_params,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "data_scale_for",
+    "format_table",
+    "make_cluster",
+    "scale_params",
+]

@@ -1,0 +1,49 @@
+"""Run every §8 experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments [scale]
+
+where ``scale`` is ``test`` (default), ``small`` or ``medium``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.ablation_incoop import run_ablation
+from repro.experiments.fig8_overall import run_fig8
+from repro.experiments.fig9_stages import run_fig9
+from repro.experiments.fig10_cpc import run_fig10
+from repro.experiments.fig11_propagation import run_fig11
+from repro.experiments.fig12_spark import run_fig12
+from repro.experiments.fig13_faults import run_fig13
+from repro.experiments.onestep_apriori import run_apriori_onestep
+from repro.experiments.table3_datasets import run_table3
+from repro.experiments.table4_mrbgstore import run_table4
+
+EXPERIMENTS = (
+    ("Table 3", run_table3),
+    ("§8.2 one-step APriori", run_apriori_onestep),
+    ("Fig 8", run_fig8),
+    ("Fig 9", run_fig9),
+    ("Table 4", run_table4),
+    ("Fig 10", run_fig10),
+    ("Fig 11", run_fig11),
+    ("Fig 12", run_fig12),
+    ("Fig 13", run_fig13),
+    ("Ablation (Incoop)", run_ablation),
+)
+
+
+def main(argv: list) -> int:
+    scale = argv[1] if len(argv) > 1 else "test"
+    for label, runner in EXPERIMENTS:
+        print(f"\n### {label} (scale={scale})\n")
+        print(runner(scale=scale).to_text())
+        sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,112 @@
+"""Fig 10 — effect of the change-propagation filter threshold.
+
+PageRank runs on i2MapReduce with 10 % changed data while the filter
+threshold varies over {0.1, 0.5, 1}.  Fig 10(a) plots cumulative runtime
+per iteration; Fig 10(b) the mean error of the kv-pairs — the average
+relative difference from the exact value computed offline.
+
+Expected shape: larger thresholds filter more kv-pairs, run faster, and
+err more; all mean errors stay far below 1 % because "influential"
+kv-pairs are hardly ever filtered (§8.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.algorithms.pagerank import PageRank
+from repro.datasets.graphs import mutate_web_graph, powerlaw_web_graph
+from repro.experiments.harness import (
+    ExperimentResult,
+    data_scale_for,
+    make_cluster,
+    scale_params,
+)
+from repro.inciter.engine import I2MREngine, I2MROptions
+from repro.iterative.api import IterativeJob
+
+#: The paper's threshold sweep.
+THRESHOLDS: Sequence[float] = (0.1, 0.5, 1.0)
+
+
+def mean_relative_error(approx: Dict, exact: Dict) -> float:
+    """Average relative difference from the exact values (Fig 10b)."""
+    total = 0.0
+    count = 0
+    for key, value in exact.items():
+        if key not in approx or value == 0:
+            continue
+        total += abs(approx[key] - value) / abs(value)
+        count += 1
+    return total / count if count else 0.0
+
+
+def run_fig10(scale: str = "small", change_fraction: float = 0.10, seed: int = 7) -> ExperimentResult:
+    """Reproduce Fig 10's runtime and mean-error curves."""
+    params = scale_params(scale)
+    iterations = params["iterations"]
+    n = params["num_partitions"]
+    workers = params["num_workers"]
+
+    graph = powerlaw_web_graph(
+        params["pagerank_vertices"], 8.0, seed=seed, payload_bytes=300
+    )
+    delta = mutate_web_graph(graph, change_fraction, seed=seed + 1)
+    algorithm = PageRank()
+    data_scale = data_scale_for("pagerank", graph.num_vertices)
+
+    rows: List[tuple] = []
+    for threshold in THRESHOLDS:
+        cluster, dfs = make_cluster(
+            num_workers=workers, seed=seed, data_scale=data_scale
+        )
+        engine = I2MREngine(cluster, dfs)
+        _, prev = engine.run_initial(
+            IterativeJob(algorithm, graph, num_partitions=n,
+                         max_iterations=3 * iterations, epsilon=1e-6)
+        )
+        converged = dict(prev.state)
+        result = engine.run_incremental(
+            IterativeJob(algorithm, delta.new_graph, num_partitions=n,
+                         max_iterations=iterations),
+            delta.records,
+            prev,
+            I2MROptions(filter_threshold=threshold, max_iterations=iterations,
+                        record_states=True),
+        )
+
+        # Exact per-iteration trajectory computed offline from the same
+        # starting state on the updated graph.
+        exact = dict(converged)
+        cumulative = 0.0
+        for it, snapshot in enumerate(result.state_history):
+            exact = algorithm.reference_from(delta.new_graph, exact, 1)
+            cumulative += result.per_iteration[it].times.total
+            rows.append(
+                (
+                    threshold,
+                    it + 1,
+                    round(cumulative, 1),
+                    round(mean_relative_error(snapshot, exact), 6),
+                    result.per_iteration[it].propagated_kv_pairs,
+                )
+            )
+        prev.cleanup()
+
+    return ExperimentResult(
+        name="Fig 10: change propagation control — runtime and mean error",
+        headers=("filter_threshold", "iteration", "cumulative_s", "mean_error", "propagated"),
+        rows=rows,
+        notes=(
+            f"scale={scale}, {change_fraction:.0%} changed; the paper "
+            "reports all mean errors below 0.2%"
+        ),
+    )
+
+
+def main() -> None:
+    print(run_fig10().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Fault tolerance: checkpointing costs, failure injection, recovery (§6)."""
+
+from repro.faults.context import FaultContext
+from repro.faults.injection import FaultInjector, FaultSpec
+from repro.faults.timeline import TaskEvent, Timeline
+
+__all__ = ["FaultContext", "FaultInjector", "FaultSpec", "TaskEvent", "Timeline"]

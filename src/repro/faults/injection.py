@@ -1,0 +1,97 @@
+"""Failure injection for the iterative engines (§6.1, Fig 13).
+
+The paper "manually and randomly inject[s] some errors" into prime Map
+and prime Reduce tasks; here failures are declared as :class:`FaultSpec`
+entries (or drawn from a seeded generator) and applied deterministically
+by the :class:`repro.faults.context.FaultContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+VALID_STAGES = ("map", "reduce", "worker")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected failure.
+
+    Attributes:
+        iteration: iteration index in which the task fails.
+        stage: ``"map"``, ``"reduce"``, or ``"worker"`` (a worker failure
+            kills both co-located prime tasks, §6.1 case iii).
+        task_index: prime task index (= partition index).
+        at_fraction: fraction of the task's work done when it fails.
+    """
+
+    iteration: int
+    stage: str
+    task_index: int
+    at_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.stage not in VALID_STAGES:
+            raise ValueError(f"stage must be one of {VALID_STAGES}")
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ValueError("at_fraction must be within [0, 1]")
+        if self.iteration < 0 or self.task_index < 0:
+            raise ValueError("iteration and task_index must be non-negative")
+
+
+class FaultInjector:
+    """Deterministic lookup of injected failures per (iteration, stage)."""
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
+        self._by_key: Dict[Tuple[int, str], Dict[int, FaultSpec]] = {}
+        for fault in faults:
+            self.add(fault)
+
+    def add(self, fault: FaultSpec) -> None:
+        """Register one failure (worker failures expand to map+reduce)."""
+        if fault.stage == "worker":
+            for stage in ("map", "reduce"):
+                expanded = FaultSpec(
+                    fault.iteration, stage, fault.task_index, fault.at_fraction
+                )
+                self._by_key.setdefault(
+                    (fault.iteration, stage), {}
+                )[fault.task_index] = expanded
+            return
+        self._by_key.setdefault((fault.iteration, fault.stage), {})[
+            fault.task_index
+        ] = fault
+
+    def fault_for(self, iteration: int, stage: str, task_index: int):
+        """The failure injected into this task, or None."""
+        return self._by_key.get((iteration, stage), {}).get(task_index)
+
+    def num_faults(self) -> int:
+        """Total registered task failures."""
+        return sum(len(v) for v in self._by_key.values())
+
+    @classmethod
+    def random(
+        cls,
+        num_faults: int,
+        num_iterations: int,
+        num_tasks: int,
+        seed: int = 0,
+        stages: Tuple[str, ...] = ("map", "reduce"),
+    ) -> "FaultInjector":
+        """Seeded random failures, like the paper's manual injection."""
+        rng = np.random.RandomState(seed)
+        faults: List[FaultSpec] = []
+        for _ in range(num_faults):
+            faults.append(
+                FaultSpec(
+                    iteration=int(rng.randint(0, num_iterations)),
+                    stage=stages[int(rng.randint(0, len(stages)))],
+                    task_index=int(rng.randint(0, num_tasks)),
+                    at_fraction=float(rng.uniform(0.1, 0.9)),
+                )
+            )
+        return cls(faults)

@@ -1,0 +1,13 @@
+"""Incremental iterative processing (paper §5)."""
+
+from repro.inciter.cpc import ChangePropagationControl
+from repro.inciter.engine import I2MREngine, I2MROptions, I2MRResult
+from repro.inciter.state import PreservedIterState
+
+__all__ = [
+    "ChangePropagationControl",
+    "I2MREngine",
+    "I2MROptions",
+    "I2MRResult",
+    "PreservedIterState",
+]

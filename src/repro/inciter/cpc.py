@@ -1,0 +1,65 @@
+"""Change propagation control (§5.3).
+
+Filters state kv-pairs whose change is below a threshold, on the
+observation that iterative computation converges asymmetrically: most
+kv-pairs converge in a few iterations while a few converge slowly.
+Changes are *accumulated* per key, so a filtered kv-pair is emitted later
+if its accumulated change grows large enough — exactly the §5.3 contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ChangePropagationControl:
+    """Per-key accumulated-change filter.
+
+    Args:
+        threshold: the filter threshold (Table 2's
+            ``job.setFilterThresh``).  ``None`` disables CPC entirely:
+            every non-zero change propagates.  ``0.0`` filters only
+            exactly-unchanged values (the paper uses this for SSSP, where
+            results stay precise, §8.2).
+    """
+
+    def __init__(self, threshold: Optional[float] = None) -> None:
+        if threshold is not None and threshold < 0:
+            raise ValueError("filter threshold must be non-negative")
+        self.threshold = threshold
+        self._accumulated: Dict[Any, float] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether filtering is active."""
+        return self.threshold is not None
+
+    def offer(self, dk: Any, diff: float) -> bool:
+        """Register a state change; returns True when it should propagate.
+
+        Without CPC any non-zero change propagates.  With CPC the change
+        is added to the key's accumulated change; the key propagates when
+        the accumulation reaches the threshold, and its accumulator resets
+        on emission.
+        """
+        if self.threshold is None:
+            return diff > 0.0
+        accumulated = self._accumulated.get(dk, 0.0) + diff
+        if accumulated > 0.0 and accumulated >= self.threshold:
+            self._accumulated.pop(dk, None)
+            return True
+        if accumulated > 0.0:
+            self._accumulated[dk] = accumulated
+        return False
+
+    def pending(self, dk: Any) -> float:
+        """Accumulated (not yet propagated) change of ``dk``."""
+        return self._accumulated.get(dk, 0.0)
+
+    def num_pending(self) -> int:
+        """Number of keys currently holding back accumulated changes."""
+        return len(self._accumulated)
+
+    def clear(self) -> None:
+        """Drop all accumulated changes."""
+        self._accumulated.clear()

@@ -1,0 +1,695 @@
+"""Incremental iterative processing engine (§5).
+
+``run_initial`` executes a full iterMR computation, then preserves the
+converged state and the last iteration's MRBGraph in per-partition
+MRBG-Stores (§5.1: only the last iteration's states need saving when
+starting from the converged state).
+
+``run_incremental`` refreshes the computation for a delta structure
+input.  Each iteration is an incremental one-step job (Fig 3):
+
+- **iteration 1**: the delta input is the delta *structure* data; only
+  the Map instances of changed structure kv-pairs run, against the
+  previously converged state;
+- **iteration j ≥ 2**: the delta input is the delta *state* data; only
+  the Map instances whose ``project(SK)`` hit a changed state kv-pair
+  run, emitting replacement MRBGraph edges;
+- each iteration merges its delta MRBGraph into the MRBG-Store
+  (multi-batch, multi-dynamic-window reads) and re-runs Reduce only for
+  affected K2s;
+- **change propagation control** (§5.3) filters sub-threshold changes;
+- **P∆ auto-off** (§5.2): when the delta-state proportion exceeds the
+  threshold, MRBGraph maintenance shuts off and the remaining iterations
+  fall back to full iterMR recomputation from the current state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import Counters, JobMetrics, StageTimes
+from repro.common.errors import JobError
+from repro.common.hashing import map_key, partition_for
+from repro.common.kvpair import DeltaRecord, Op, sort_key
+from repro.common.sizeof import record_size
+from repro.dfs.filesystem import DistributedFS
+from repro.incremental.state import PolicyFactory, PreservedJobState
+from repro.inciter.cpc import ChangePropagationControl
+from repro.inciter.state import PreservedIterState
+from repro.iterative.api import Dependency, IterationStats, IterativeJob
+from repro.iterative.engine import (
+    MK_BYTES,
+    IterMRResult,
+    run_full_iteration,
+)
+from repro.iterative.partitioning import (
+    partition_job_cost,
+    partition_structure,
+)
+from repro.mrbgraph.graph import DeltaEdge, Edge
+
+#: Encoded overhead of the +/- op marker on a delta edge.
+_OP_BYTES = 2
+
+
+@dataclass
+class I2MROptions:
+    """Runtime options of one incremental iterative job (Table 2)."""
+
+    #: CPC filter threshold; ``None`` disables CPC (i2MR w/o CPC in Fig 8).
+    filter_threshold: Optional[float] = None
+    #: Maintain the MRBGraph (users may turn it off a priori, §5.2).
+    mrbg_enabled: bool = True
+    #: Auto-off threshold on the delta-state proportion ``P∆`` (§5.2).
+    pdelta_threshold: float = 0.5
+    #: Checkpoint state + MRBGraph to the DFS every iteration (§6.1).
+    checkpoint: bool = False
+    #: Iteration budget for the incremental job.
+    max_iterations: int = 10
+    #: Convergence threshold for fallback (iterMR-style) iterations.
+    epsilon: Optional[float] = None
+    #: Record a state snapshot after every iteration (Fig 10 error curves).
+    record_states: bool = False
+
+
+@dataclass
+class I2MRResult:
+    """Result of an incremental iterative run."""
+
+    state: Dict[Any, Any]
+    iterations: int
+    converged: bool
+    per_iteration: List[IterationStats]
+    metrics: JobMetrics
+    #: iteration index at which MRBGraph maintenance was auto-disabled
+    #: (None if it stayed on).
+    mrbg_disabled_at: Optional[int] = None
+    #: per-iteration state snapshots (only with ``record_states``).
+    state_history: List[Dict[Any, Any]] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated seconds."""
+        return self.metrics.total_time
+
+    @property
+    def fell_back(self) -> bool:
+        """Whether the run fell back to full recomputation."""
+        return self.mrbg_disabled_at is not None
+
+
+class I2MREngine:
+    """The §5 engine: fine-grain incremental + general-purpose iterative."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFS,
+        policy_factory: Optional[PolicyFactory] = None,
+        store_root: Optional[str] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.dfs = dfs
+        self.policy_factory = policy_factory
+        self.store_root = store_root
+
+    # ------------------------------------------------------------------ #
+    # initial converged run                                              #
+    # ------------------------------------------------------------------ #
+
+    def run_initial(
+        self,
+        job: IterativeJob,
+        structure_path: Optional[str] = None,
+        initial_state: Optional[Dict[Any, Any]] = None,
+    ) -> Tuple[IterMRResult, PreservedIterState]:
+        """Run job ``A_0`` to convergence, preserving state + MRBGraph."""
+        job.validate()
+        algorithm = job.algorithm
+        cost = self.cluster.cost_model
+
+        if structure_path is None:
+            structure_path = f"/{algorithm.name}/structure"
+        if not self.dfs.exists(structure_path):
+            self.dfs.write(structure_path, algorithm.structure_records(job.dataset))
+        dfs_file = self.dfs.file(structure_path)
+
+        records = self.dfs.read_all(structure_path)
+        parts = partition_structure(algorithm, records, job.num_partitions)
+        preprocess_s = partition_job_cost(
+            cost,
+            self.cluster.num_workers,
+            dfs_file.size_bytes,
+            dfs_file.num_records,
+            job.num_partitions,
+        )
+
+        state = dict(
+            initial_state
+            if initial_state is not None
+            else algorithm.initial_state(job.dataset)
+        )
+
+        metrics = JobMetrics()
+        metrics.times.startup = cost.job_startup_s + preprocess_s
+        per_iteration: List[IterationStats] = []
+        converged = False
+        iterations = 0
+        last_chunks = None
+        for it in range(job.max_iterations):
+            result = run_full_iteration(
+                algorithm, parts, state, self.cluster, capture_chunks=True
+            )
+            state = result.new_state
+            last_chunks = result.chunks
+            iterations = it + 1
+            metrics.times.add(result.times)
+            metrics.counters.merge(result.counters)
+            per_iteration.append(
+                IterationStats(
+                    iteration=it,
+                    times=result.times,
+                    changed_keys=len(result.outputs),
+                    propagated_kv_pairs=len(result.outputs),
+                    total_difference=result.total_difference,
+                    mrbg_maintained=True,
+                )
+            )
+            if job.epsilon is not None and result.total_difference <= job.epsilon:
+                converged = True
+                break
+
+        stores = PreservedJobState(
+            num_reducers=job.num_partitions,
+            root_dir=self.store_root,
+            policy_factory=self.policy_factory,
+            cost_model=cost.unscaled(),
+        )
+        if last_chunks is not None:
+            for q, chunk_list in enumerate(last_chunks):
+                if not chunk_list:
+                    continue
+                store = stores.store_for(q)
+                store.build(
+                    (k2, [Edge(mk, v2) for mk, v2 in entries])
+                    for k2, entries in chunk_list
+                )
+                store.save_index()
+        build_metrics = stores.store_metrics()
+        metrics.times.merge = build_metrics.write_time_s * cost.data_scale
+        metrics.counters.add("mrbg_bytes_written", build_metrics.bytes_written)
+
+        run_result = IterMRResult(
+            state=state,
+            iterations=iterations,
+            converged=converged,
+            per_iteration=per_iteration,
+            metrics=metrics,
+            preprocess_s=preprocess_s,
+            parts=parts,
+        )
+        preserved = PreservedIterState(
+            algorithm=algorithm, parts=parts, state=state, stores=stores
+        )
+        return run_result, preserved
+
+    # ------------------------------------------------------------------ #
+    # incremental run                                                    #
+    # ------------------------------------------------------------------ #
+
+    def run_incremental(
+        self,
+        job: IterativeJob,
+        delta_records: List[DeltaRecord],
+        prev: PreservedIterState,
+        options: Optional[I2MROptions] = None,
+    ) -> I2MRResult:
+        """Run job ``A_i`` incrementally from job ``A_{i-1}``'s state."""
+        job.validate()
+        options = options or I2MROptions()
+        algorithm = job.algorithm
+        cost = self.cluster.cost_model
+        n = prev.num_partitions
+        workers = self.cluster.num_workers
+        parts = prev.parts
+        replicated = parts.replicated_state
+        state = dict(prev.state)
+        cpc = ChangePropagationControl(options.filter_threshold)
+
+        metrics = JobMetrics()
+        metrics.times.startup = cost.job_startup_s
+        delta_bytes = sum(
+            record_size(rec.key, rec.value) + _OP_BYTES for rec in delta_records
+        )
+        metrics.times.startup += partition_job_cost(
+            cost, workers, delta_bytes, max(1, len(delta_records)), n
+        )
+        metrics.counters.add("delta_structure_records", len(delta_records))
+
+        mrbg_on = options.mrbg_enabled and prev.stores_valid
+        mrbg_disabled_at: Optional[int] = None if mrbg_on else 0
+        per_iteration: List[IterationStats] = []
+        state_history: List[Dict[Any, Any]] = []
+        converged = False
+        iterations = 0
+        delta_state: Dict[Any, Any] = {}
+
+        for it in range(options.max_iterations):
+            iterations = it + 1
+            if not mrbg_on:
+                if it == 0:
+                    self._apply_delta_to_structure(algorithm, parts, delta_records)
+                    self._reconcile_state_keys(algorithm, parts, state)
+                full = run_full_iteration(algorithm, parts, state, self.cluster)
+                state = full.new_state
+                metrics.times.add(full.times)
+                metrics.counters.merge(full.counters)
+                per_iteration.append(
+                    IterationStats(
+                        iteration=it,
+                        times=full.times,
+                        changed_keys=len(full.outputs),
+                        propagated_kv_pairs=len(full.outputs),
+                        total_difference=full.total_difference,
+                        mrbg_maintained=False,
+                    )
+                )
+                if options.record_states:
+                    state_history.append(dict(state))
+                if (
+                    options.epsilon is not None
+                    and full.total_difference <= options.epsilon
+                ):
+                    converged = True
+                    break
+                continue
+
+            stats = self._incremental_iteration(
+                job, prev, state, delta_state, delta_records if it == 0 else None,
+                cpc, options, it
+            )
+            metrics.times.add(stats.times)
+            metrics.counters.merge(stats.counters)
+            per_iteration.append(stats)
+            delta_state = stats.next_delta_state
+            if options.record_states:
+                state_history.append(dict(state))
+
+            # §5.2 auto-off: detect an over-costly delta proportion.
+            pdelta = len(delta_state) / max(1, len(state))
+            if pdelta > options.pdelta_threshold:
+                mrbg_on = False
+                mrbg_disabled_at = it + 1
+                prev.stores_valid = False
+                metrics.counters.add("mrbg_auto_disabled", 1)
+            if not delta_state:
+                converged = True
+                break
+
+        prev.state = state
+        return I2MRResult(
+            state=state,
+            iterations=iterations,
+            converged=converged,
+            per_iteration=per_iteration,
+            metrics=metrics,
+            mrbg_disabled_at=mrbg_disabled_at,
+            state_history=state_history,
+        )
+
+    # ------------------------------------------------------------------ #
+    # one incremental iteration                                          #
+    # ------------------------------------------------------------------ #
+
+    def _incremental_iteration(
+        self,
+        job: IterativeJob,
+        prev: PreservedIterState,
+        state: Dict[Any, Any],
+        delta_state: Dict[Any, Any],
+        delta_records: Optional[List[DeltaRecord]],
+        cpc: ChangePropagationControl,
+        options: I2MROptions,
+        iteration: int,
+    ) -> "_IterOutcome":
+        algorithm = job.algorithm
+        cost = self.cluster.cost_model
+        parts = prev.parts
+        n = parts.num_partitions
+        workers = self.cluster.num_workers
+        replicated = parts.replicated_state
+        times = StageTimes()
+        counters = Counters()
+
+        delta_edges: List[List[Tuple[Any, DeltaEdge]]] = [[] for _ in range(n)]
+        edge_bytes = [0] * n
+        map_loads = [0.0] * workers
+        new_dks: List[Any] = []
+        removed_dks: List[Any] = []
+
+        if delta_records is not None:
+            self._map_delta_structure(
+                algorithm, parts, state, delta_records, delta_edges, edge_bytes,
+                map_loads, new_dks, removed_dks, counters,
+            )
+        else:
+            self._map_delta_state(
+                algorithm, parts, state, delta_state, delta_edges, edge_bytes,
+                map_loads, counters,
+            )
+        times.map = max(map_loads) if map_loads else 0.0
+
+        # ----------------------- shuffle + sort ------------------------ #
+        shuffle_loads = [0.0] * workers
+        sort_loads = [0.0] * workers
+        for q in range(n):
+            if not delta_edges[q]:
+                continue
+            total = edge_bytes[q]
+            local = int(total / max(1, n))
+            shuffle_loads[q % workers] += cost.disk_read_time(local)
+            shuffle_loads[q % workers] += cost.net_time(
+                total - local, transfers=max(1, n - 1)
+            )
+            counters.add("shuffle_bytes", total)
+            delta_edges[q].sort(key=lambda rec: sort_key(rec[0]))
+            sort_loads[q % workers] += cost.sort_time(len(delta_edges[q]))
+            counters.add("delta_edges", len(delta_edges[q]))
+        times.shuffle = max(shuffle_loads)
+        times.sort = max(sort_loads)
+
+        # ------------------------ merge + reduce ----------------------- #
+        reduce_loads = [0.0] * workers
+        changed_outputs: List[Tuple[Any, Any]] = []
+        removed_set = set(removed_dks)
+        store_read_total = 0.0
+        store_write_total = 0.0
+        store_reads_total = 0
+        store_bytes_read_total = 0
+        store_bytes_written_total = 0
+
+        for q in range(n):
+            if not delta_edges[q]:
+                continue
+            groups: List[Tuple[Any, List[DeltaEdge]]] = []
+            current_key: Any = None
+            current: List[DeltaEdge] = []
+            for k2, edge in delta_edges[q]:
+                if current and k2 == current_key:
+                    current.append(edge)
+                else:
+                    if current:
+                        groups.append((current_key, current))
+                    current_key = k2
+                    current = [edge]
+            if current:
+                groups.append((current_key, current))
+
+            store = prev.stores.store_for(q)
+            snap = store.metrics.snapshot()
+            values_processed = 0
+            for k2, entries in store.merge_delta(groups):
+                if k2 in removed_set:
+                    continue
+                if (
+                    algorithm.dependency is Dependency.ONE_TO_ONE
+                    and k2 not in parts.groups[q]
+                ):
+                    # Ghost reduce instance: its structure kv-pair is gone.
+                    state.pop(k2, None)
+                    continue
+                dv_new = algorithm.reduce_instance(k2, [v2 for _, v2 in entries])
+                changed_outputs.append((k2, dv_new))
+                values_processed += len(entries) + 1
+            part_delta = store.metrics.since(snap)
+            store_time = (
+                part_delta.read_time_s + part_delta.write_time_s
+            ) * cost.data_scale
+            reduce_loads[q % workers] += store_time
+            store_read_total += part_delta.read_time_s * cost.data_scale
+            store_write_total += part_delta.write_time_s * cost.data_scale
+            store_reads_total += part_delta.io_reads
+            store_bytes_read_total += part_delta.bytes_read
+            store_bytes_written_total += part_delta.bytes_written
+            reduce_loads[q % workers] += cost.cpu_time(
+                values_processed, algorithm.reduce_cpu_weight
+            )
+            counters.add("reduce_values", values_processed)
+
+        # Chunk + state cleanup for fully removed state keys.
+        for dk in removed_dks:
+            state.pop(dk, None)
+            q = partition_for(dk, n)
+            store = prev.stores.store_for(q)
+            if dk in store:
+                store.begin_merge([])
+                store.delete_chunk(dk)
+                store.end_merge()
+
+        # Brand-new state keys with no in-edges get the base Reduce value.
+        if new_dks:
+            produced = {k2 for k2, _ in changed_outputs}
+            for dk in new_dks:
+                if dk not in produced and dk not in state:
+                    changed_outputs.append((dk, algorithm.reduce_instance(dk, [])))
+
+        counters.add("affected_reduce_instances", len(changed_outputs))
+
+        # --------------------- assemble + CPC filter ------------------- #
+        if replicated:
+            affected_keys = list(state.keys())
+        else:
+            affected_keys = [k2 for k2, _ in changed_outputs]
+        prev_values = {key: state.get(key) for key in affected_keys}
+        algorithm.assemble_state(state, changed_outputs)
+
+        next_delta_state: Dict[Any, Any] = {}
+        total_difference = 0.0
+        changed_state_bytes = 0
+        for key in affected_keys:
+            new_value = state.get(key)
+            if new_value is None:
+                continue
+            old_value = prev_values.get(key)
+            if old_value is None:
+                propagate = True
+            else:
+                diff = algorithm.difference(new_value, old_value)
+                total_difference += diff
+                propagate = cpc.offer(key, diff)
+            if propagate:
+                next_delta_state[key] = new_value
+                changed_state_bytes += record_size(key, new_value)
+
+        times.reduce = max(reduce_loads) + cost.disk_write_time(changed_state_bytes)
+        counters.add("mrbg_reads", store_reads_total)
+        counters.add("mrbg_bytes_read", store_bytes_read_total)
+        counters.add("mrbg_bytes_written", store_bytes_written_total)
+
+        if options.checkpoint:
+            ckpt_bytes = changed_state_bytes + store_bytes_written_total
+            times.checkpoint = cost.disk_write_time(ckpt_bytes) + cost.net_time(
+                ckpt_bytes * max(0, self.dfs.replication - 1)
+            )
+
+        outcome = _IterOutcome(
+            iteration=iteration,
+            times=times,
+            changed_keys=len(changed_outputs),
+            propagated_kv_pairs=len(next_delta_state),
+            total_difference=total_difference,
+            mrbg_maintained=True,
+        )
+        outcome.counters = counters
+        outcome.next_delta_state = next_delta_state
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # delta map phases                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _map_delta_structure(
+        self,
+        algorithm: Any,
+        parts: Any,
+        state: Dict[Any, Any],
+        delta_records: List[DeltaRecord],
+        delta_edges: List[List[Tuple[Any, DeltaEdge]]],
+        edge_bytes: List[int],
+        map_loads: List[float],
+        new_dks: List[Any],
+        removed_dks: List[Any],
+        counters: Counters,
+    ) -> None:
+        """Iteration 1: map only the changed structure kv-pairs (§5.1)."""
+        cost = self.cluster.cost_model
+        n = parts.num_partitions
+        workers = self.cluster.num_workers
+        per_partition: Dict[int, List[DeltaRecord]] = {}
+        for rec in delta_records:
+            p = parts.partition_of(algorithm, rec.key)
+            per_partition.setdefault(p, []).append(rec)
+
+        # A state key counts as removed only when the *net* effect of the
+        # whole delta leaves it without structure (an update is a deletion
+        # followed by an insertion of the same key, §3.1).
+        removal_candidates: set = set()
+
+        for p, recs in per_partition.items():
+            read_bytes = 0
+            emitted = 0
+            emitted_bytes = 0
+            for rec in recs:
+                sk, sv, op = rec.key, rec.value, rec.op
+                dk = algorithm.project(sk)
+                read_bytes += record_size(sk, sv) + _OP_BYTES
+                if op is Op.DELETE:
+                    try:
+                        parts.delete_pair(algorithm, sk, sv)
+                    except KeyError as exc:
+                        raise JobError(f"bad delta: {exc}") from exc
+                    if algorithm.dependency is Dependency.ONE_TO_ONE:
+                        removal_candidates.add(dk)
+                else:
+                    parts.insert_pair(algorithm, sk, sv)
+                    if dk not in state:
+                        new_dks.append(dk)
+                dv = state.get(dk)
+                if dv is None:
+                    dv = algorithm.init_state_value(dk)
+                mk = map_key(sk, sv)
+                outs = algorithm.map_instance(sk, sv, dk, dv)
+                emitted += len(outs)
+                if op is Op.DELETE:
+                    for k2, _ in outs:
+                        q = partition_for(k2, n)
+                        delta_edges[q].append((k2, DeltaEdge(mk, None, Op.DELETE)))
+                        nbytes = record_size(k2, None) + MK_BYTES + _OP_BYTES
+                        edge_bytes[q] += nbytes
+                        emitted_bytes += nbytes
+                else:
+                    for k2, v2 in outs:
+                        q = partition_for(k2, n)
+                        delta_edges[q].append((k2, DeltaEdge(mk, v2, Op.INSERT)))
+                        nbytes = record_size(k2, v2) + MK_BYTES + _OP_BYTES
+                        edge_bytes[q] += nbytes
+                        emitted_bytes += nbytes
+            task_cost = cost.disk_read_time(read_bytes)
+            task_cost += cost.cpu_time(len(recs), algorithm.map_cpu_weight)
+            task_cost += cost.sort_time(emitted)
+            task_cost += cost.disk_write_time(emitted_bytes)
+            map_loads[p % workers] += task_cost
+        for dk in sorted(removal_candidates, key=sort_key):
+            p = partition_for(dk, parts.num_partitions)
+            if dk not in parts.groups[p]:
+                removed_dks.append(dk)
+        counters.add("delta_map_instances", len(delta_records))
+
+    def _map_delta_state(
+        self,
+        algorithm: Any,
+        parts: Any,
+        state: Dict[Any, Any],
+        delta_state: Dict[Any, Any],
+        delta_edges: List[List[Tuple[Any, DeltaEdge]]],
+        edge_bytes: List[int],
+        map_loads: List[float],
+        counters: Counters,
+    ) -> None:
+        """Iteration j ≥ 2: map the structure kv-pairs whose interdependent
+        state kv-pair changed (§5.1)."""
+        cost = self.cluster.cost_model
+        n = parts.num_partitions
+        workers = self.cluster.num_workers
+        replicated = parts.replicated_state
+
+        per_partition: Dict[int, List[Tuple[Any, Any]]] = {}
+        for dk, dv in delta_state.items():
+            if replicated:
+                for p in range(n):
+                    if dk in parts.groups[p]:
+                        per_partition.setdefault(p, []).append((dk, dv))
+            else:
+                p = partition_for(dk, n)
+                if dk in parts.groups[p]:
+                    per_partition.setdefault(p, []).append((dk, dv))
+
+        instances = 0
+        for p, dk_list in per_partition.items():
+            read_bytes = 0
+            emitted = 0
+            emitted_bytes = 0
+            pairs_done = 0
+            for dk, dv in dk_list:
+                read_bytes += record_size(dk, dv)
+                for sk, sv in parts.groups[p].get(dk, ()):
+                    read_bytes += record_size(sk, sv)
+                    mk = map_key(sk, sv)
+                    outs = algorithm.map_instance(sk, sv, dk, dv)
+                    pairs_done += 1
+                    emitted += len(outs)
+                    for k2, v2 in outs:
+                        q = partition_for(k2, n)
+                        delta_edges[q].append((k2, DeltaEdge(mk, v2, Op.INSERT)))
+                        nbytes = record_size(k2, v2) + MK_BYTES + _OP_BYTES
+                        edge_bytes[q] += nbytes
+                        emitted_bytes += nbytes
+            task_cost = cost.disk_read_time(read_bytes)
+            task_cost += cost.cpu_time(pairs_done, algorithm.map_cpu_weight)
+            task_cost += cost.sort_time(emitted)
+            task_cost += cost.disk_write_time(emitted_bytes)
+            map_loads[p % workers] += task_cost
+            instances += pairs_done
+        counters.add("delta_map_instances", instances)
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                            #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _reconcile_state_keys(algorithm: Any, parts: Any, state: Dict[Any, Any]) -> None:
+        """Align the state key set with the structure after a raw delta.
+
+        The fine-grain path prunes removed state keys and seeds brand-new
+        ones as it merges; when MRBGraph maintenance is off from the start
+        (stores invalidated by a previous auto-off) the fallback path must
+        do the same reconciliation explicitly.  Only one-to-one
+        dependencies tie the state domain to the structure keys.
+        """
+        if algorithm.dependency is not Dependency.ONE_TO_ONE:
+            return
+        live: set = set()
+        for partition in range(parts.num_partitions):
+            live.update(parts.groups[partition].keys())
+        for stale in [dk for dk in state if dk not in live]:
+            del state[stale]
+        for dk in live:
+            if dk not in state:
+                state[dk] = algorithm.init_state_value(dk)
+
+    @staticmethod
+    def _apply_delta_to_structure(
+        algorithm: Any,
+        parts: Any,
+        delta_records: List[DeltaRecord],
+    ) -> None:
+        """Apply a structure delta without incremental processing (used by
+        the fallback path when MRBGraph maintenance is off from the
+        start)."""
+        for rec in delta_records:
+            if rec.op is Op.DELETE:
+                try:
+                    parts.delete_pair(algorithm, rec.key, rec.value)
+                except KeyError as exc:
+                    raise JobError(f"bad delta: {exc}") from exc
+            else:
+                parts.insert_pair(algorithm, rec.key, rec.value)
+
+
+class _IterOutcome(IterationStats):
+    """IterationStats plus the engine-internal iteration products."""
+
+    counters: Counters
+    next_delta_state: Dict[Any, Any]

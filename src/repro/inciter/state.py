@@ -1,0 +1,51 @@
+"""Preserved state between incremental iterative jobs (§5.1).
+
+After job ``A_{i-1}`` converges, i2MapReduce keeps:
+
+- the **converged state data** ``D_{i-1}`` (the paper chooses it over the
+  random initial state because it is close to ``D_i`` and only the last
+  iteration's state needs saving), and
+- the **converged MRBGraph** ``MRBGraph_{i-1}`` in the per-Reduce-task
+  MRBG-Stores, plus
+- the cached, partitioned structure data, which job ``A_i`` mutates in
+  place with the delta structure input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.incremental.state import PreservedJobState
+from repro.iterative.partitioning import PartitionedStructure
+
+
+@dataclass
+class PreservedIterState:
+    """Everything job ``A_i`` needs from job ``A_{i-1}``."""
+
+    algorithm: Any
+    parts: PartitionedStructure
+    state: Dict[Any, Any]
+    stores: PreservedJobState
+    #: False once MRBGraph maintenance was auto-disabled — a later job must
+    #: rebuild the stores before fine-grain incremental processing.
+    stores_valid: bool = True
+
+    @property
+    def num_partitions(self) -> int:
+        return self.parts.num_partitions
+
+    def close(self) -> None:
+        """Flush store indexes and release file handles."""
+        self.stores.close()
+
+    def cleanup(self) -> None:
+        """Delete all preserved on-disk state."""
+        self.stores.cleanup()
+
+    def __enter__(self) -> "PreservedIterState":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cleanup()

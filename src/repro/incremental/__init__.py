@@ -1,0 +1,25 @@
+"""Fine-grain incremental one-step processing (paper §3)."""
+
+from repro.incremental.api import (
+    AccumulatorReducer,
+    AvgPartialReducer,
+    MaxReducer,
+    MinReducer,
+    SumReducer,
+    delta_to_dfs_records,
+    dfs_records_to_delta,
+)
+from repro.incremental.engine import IncrMREngine
+from repro.incremental.state import PreservedJobState
+
+__all__ = [
+    "AccumulatorReducer",
+    "AvgPartialReducer",
+    "MaxReducer",
+    "MinReducer",
+    "SumReducer",
+    "delta_to_dfs_records",
+    "dfs_records_to_delta",
+    "IncrMREngine",
+    "PreservedJobState",
+]

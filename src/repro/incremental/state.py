@@ -1,0 +1,132 @@
+"""Preserved state of one incremental-capable MapReduce job.
+
+Holds the per-Reduce-task MRBG-Stores (fine-grain mode) or the preserved
+Reduce outputs (accumulator mode, §3.5), plus the last full result so an
+incremental run can refresh only the changed output records.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.costmodel import CostModel
+from repro.common.kvpair import sort_key
+from repro.mrbgraph.store import MRBGStore, StoreMetrics
+from repro.mrbgraph.windows import MultiDynamicWindowPolicy, WindowPolicy
+
+PolicyFactory = Callable[[], WindowPolicy]
+
+
+class PreservedJobState:
+    """Fine-grain (or accumulator) state preserved between jobs."""
+
+    def __init__(
+        self,
+        num_reducers: int,
+        root_dir: Optional[str] = None,
+        policy_factory: Optional[PolicyFactory] = None,
+        cost_model: Optional[CostModel] = None,
+        accumulator: bool = False,
+    ) -> None:
+        self.num_reducers = num_reducers
+        self.accumulator = accumulator
+        self._owns_dir = root_dir is None
+        self.root_dir = root_dir or tempfile.mkdtemp(prefix="i2mr-state-")
+        os.makedirs(self.root_dir, exist_ok=True)
+        self._policy_factory = policy_factory or MultiDynamicWindowPolicy
+        self._cost_model = cost_model or CostModel()
+        self._stores: Dict[int, MRBGStore] = {}
+        #: fine-grain mode: reduce-instance key -> that instance's outputs.
+        self.outputs: Dict[Any, List[Tuple[Any, Any]]] = {}
+        #: accumulator mode: output key -> accumulated value.
+        self.acc_outputs: Dict[Any, Any] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # stores                                                             #
+    # ------------------------------------------------------------------ #
+
+    def store_for(self, partition: int) -> MRBGStore:
+        """The MRBG-Store of reduce task ``partition`` (created lazily)."""
+        if partition not in self._stores:
+            directory = os.path.join(self.root_dir, f"part-{partition:05d}")
+            self._stores[partition] = MRBGStore(
+                directory,
+                policy=self._policy_factory(),
+                cost_model=self._cost_model,
+            )
+        return self._stores[partition]
+
+    @property
+    def stores(self) -> Dict[int, MRBGStore]:
+        """All materialized stores, keyed by reduce partition."""
+        return dict(self._stores)
+
+    def store_metrics(self) -> StoreMetrics:
+        """Aggregated store statistics across all partitions."""
+        total = StoreMetrics()
+        for store in self._stores.values():
+            store.metrics.merged_into(total)
+        return total
+
+    def snapshot_store_metrics(self) -> Dict[int, StoreMetrics]:
+        """Per-partition metric snapshots (for delta accounting)."""
+        return {p: s.metrics.snapshot() for p, s in self._stores.items()}
+
+    def store_metrics_since(self, snaps: Dict[int, StoreMetrics]) -> StoreMetrics:
+        """Aggregate statistics accumulated since ``snaps`` was taken."""
+        total = StoreMetrics()
+        for p, store in self._stores.items():
+            base = snaps.get(p)
+            delta = store.metrics.since(base) if base else store.metrics.snapshot()
+            delta.merged_into(total)
+        return total
+
+    def compact_all(self) -> None:
+        """Offline reconstruction of every store (idle-time maintenance)."""
+        for store in self._stores.values():
+            store.compact()
+
+    def checkpoint_bytes(self) -> int:
+        """Bytes a full checkpoint of the preserved state would copy."""
+        return sum(store.checkpoint_bytes() for store in self._stores.values())
+
+    # ------------------------------------------------------------------ #
+    # results                                                            #
+    # ------------------------------------------------------------------ #
+
+    def result_records(self) -> List[Tuple[Any, Any]]:
+        """The job's full current output, in deterministic key order."""
+        if self.accumulator:
+            return sorted(self.acc_outputs.items(), key=lambda kv: sort_key(kv[0]))
+        records: List[Tuple[Any, Any]] = []
+        for key in sorted(self.outputs, key=sort_key):
+            records.extend(self.outputs[key])
+        return records
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close stores; keeps on-disk files (reopen with ``store_for``)."""
+        for store in self._stores.values():
+            store.save_index()
+            store.close()
+        self._stores.clear()
+        self._closed = True
+
+    def cleanup(self) -> None:
+        """Close and delete all on-disk state."""
+        self.close()
+        if self._owns_dir:
+            shutil.rmtree(self.root_dir, ignore_errors=True)
+
+    def __enter__(self) -> "PreservedJobState":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cleanup()

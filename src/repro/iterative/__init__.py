@@ -1,0 +1,28 @@
+"""General-purpose iterative MapReduce support (paper §4)."""
+
+from repro.iterative.api import Dependency, IterationStats, IterativeJob, regroup_keys
+from repro.iterative.engine import (
+    FullIterationResult,
+    IterMREngine,
+    IterMRResult,
+    run_full_iteration,
+)
+from repro.iterative.partitioning import (
+    PartitionedStructure,
+    partition_structure,
+    state_partition,
+)
+
+__all__ = [
+    "Dependency",
+    "IterationStats",
+    "IterativeJob",
+    "regroup_keys",
+    "FullIterationResult",
+    "IterMREngine",
+    "IterMRResult",
+    "run_full_iteration",
+    "PartitionedStructure",
+    "partition_structure",
+    "state_partition",
+]

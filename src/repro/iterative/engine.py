@@ -1,0 +1,353 @@
+"""The iterMR engine: general-purpose iterative MapReduce (§4).
+
+Improvements over vanilla MapReduce, as the paper describes:
+
+- **job reuse** — startup cost is paid once, not per iteration;
+- **structure caching** — structure data is partitioned, sorted by
+  ``project(SK)`` and cached in binary form on local disks during a
+  preprocessing job, so iterations re-read it locally without parsing and
+  never shuffle it;
+- **co-location** — prime Reduce task *i* runs on the same worker as
+  prime Map task *i* and produces exactly the state partition *i*, so
+  updated state flows to the next iteration without network traffic.
+
+The per-iteration computation lives in :func:`run_full_iteration`, shared
+with the incremental-iterative engine (which falls back to it when the
+delta proportion ``P∆`` trips the MRBGraph auto-off, §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import Counters, JobMetrics, StageTimes
+from repro.common.hashing import map_key, partition_for
+from repro.common.kvpair import sort_key
+from repro.common.sizeof import record_size
+from repro.dfs.filesystem import DistributedFS
+from repro.iterative.api import Dependency, IterationStats, IterativeJob
+from repro.iterative.partitioning import (
+    PartitionedStructure,
+    partition_job_cost,
+    partition_structure,
+    state_bytes_by_partition,
+)
+
+#: Encoded overhead of shipping the globally unique MK with each
+#: intermediate kv-pair (one tagged 64-bit int), charged only when the
+#: MRBGraph is being maintained (§3.3: "transfers the globally unique MK
+#: along with <K2, V2> during the shuffle phase").
+MK_BYTES = 9
+
+
+@dataclass
+class FullIterationResult:
+    """Output of one full (non-incremental) iteration."""
+
+    new_state: Dict[Any, Any]
+    outputs: List[Tuple[Any, Any]]
+    times: StageTimes
+    counters: Counters
+    total_difference: float
+    #: per reduce partition: K2-sorted ``[(K2, [(MK, V2), ...])]`` —
+    #: captured only when the caller maintains a MRBG-Store.
+    chunks: Optional[List[List[Tuple[Any, List[Tuple[int, Any]]]]]] = None
+
+
+def run_full_iteration(
+    algorithm: Any,
+    parts: PartitionedStructure,
+    state: Dict[Any, Any],
+    cluster: Cluster,
+    capture_chunks: bool = False,
+    fault_context: Optional[Any] = None,
+) -> FullIterationResult:
+    """Execute one complete iteration over every structure kv-pair.
+
+    Runs the real map/reduce functions and charges per-stage simulated
+    time.  With ``capture_chunks`` the per-Reduce-instance edge lists
+    (the MRBGraph chunks) are returned and the MK shuffle overhead is
+    charged.
+    """
+    cost = cluster.cost_model
+    n = parts.num_partitions
+    workers = cluster.num_workers
+    counters = Counters()
+    times = StageTimes()
+    replicated = parts.replicated_state
+
+    state_sizes = state_bytes_by_partition(state, n, replicated)
+
+    # ------------------------------ map ------------------------------ #
+    # intermediate[q] collects (K2, MK, V2) destined for reduce task q.
+    intermediate: List[List[Tuple[Any, int, Any]]] = [[] for _ in range(n)]
+    map_loads = [0.0] * workers
+    map_task_costs: List[float] = []
+    for p in range(n):
+        emitted = 0
+        emitted_bytes = 0
+        for dk, pairs in parts.iter_groups(p):
+            dv = state.get(dk)
+            if dv is None:
+                dv = algorithm.init_state_value(dk)
+            for sk, sv in pairs:
+                mk = map_key(sk, sv) if capture_chunks else 0
+                for k2, v2 in algorithm.map_instance(sk, sv, dk, dv):
+                    q = partition_for(k2, n)
+                    intermediate[q].append((k2, mk, v2))
+                    emitted += 1
+                    emitted_bytes += record_size(k2, v2)
+        if capture_chunks:
+            emitted_bytes += emitted * MK_BYTES
+        task_cost = cost.disk_read_time(parts.structure_bytes[p] + state_sizes[p])
+        task_cost += cost.cpu_time(parts.num_pairs[p], algorithm.map_cpu_weight)
+        task_cost += cost.sort_time(emitted)
+        task_cost += cost.disk_write_time(emitted_bytes)
+        map_loads[p % workers] += task_cost
+        map_task_costs.append(task_cost)
+        counters.add("map_output_records", emitted)
+        counters.add("map_output_bytes", emitted_bytes)
+    counters.add("map_input_pairs", parts.total_pairs())
+    times.map = max(map_loads)
+
+    # ---------------------------- shuffle ----------------------------- #
+    shuffle_loads = [0.0] * workers
+    reduce_task_costs = [0.0] * n
+    for q in range(n):
+        # Volume from each map partition p; records were produced
+        # partition-at-a-time so we approximate the per-source split by
+        # charging local transfer for the co-located source only.
+        total_bytes = sum(
+            record_size(k2, v2) + (MK_BYTES if capture_chunks else 0)
+            for k2, _, v2 in intermediate[q]
+        )
+        local_fraction = 1.0 / max(1, n)
+        local_bytes = int(total_bytes * local_fraction)
+        remote_bytes = total_bytes - local_bytes
+        fetch = cost.disk_read_time(local_bytes) + cost.net_time(
+            remote_bytes, transfers=max(1, n - 1)
+        )
+        shuffle_loads[q % workers] += fetch
+        reduce_task_costs[q] += fetch
+        counters.add("shuffle_bytes", total_bytes)
+        counters.add("shuffle_net_bytes", remote_bytes)
+    times.shuffle = max(shuffle_loads)
+
+    # ------------------------------ sort ------------------------------ #
+    sort_loads = [0.0] * workers
+    for q in range(n):
+        intermediate[q].sort(key=lambda rec: sort_key(rec[0]))
+        sort_s = cost.sort_time(len(intermediate[q]))
+        sort_loads[q % workers] += sort_s
+        reduce_task_costs[q] += sort_s
+    times.sort = max(sort_loads)
+
+    # ----------------------------- reduce ----------------------------- #
+    reduce_loads = [0.0] * workers
+    outputs: List[Tuple[Any, Any]] = []
+    chunks: Optional[List[List[Tuple[Any, List[Tuple[int, Any]]]]]] = (
+        [[] for _ in range(n)] if capture_chunks else None
+    )
+    new_state = dict(state)
+    total_difference = 0.0
+
+    state_keys_by_part: List[List[Any]] = [[] for _ in range(n)]
+    if not replicated:
+        for dk in state:
+            state_keys_by_part[partition_for(dk, n)].append(dk)
+
+    for q in range(n):
+        grouped: Dict[Any, List[Tuple[int, Any]]] = {}
+        for k2, mk, v2 in intermediate[q]:
+            grouped.setdefault(k2, []).append((mk, v2))
+
+        if replicated:
+            reduce_keys = sorted(grouped, key=sort_key)
+        else:
+            # Every state kv-pair of this partition gets a Reduce instance
+            # (empty-input groups produce the algorithm's base value), plus
+            # any brand-new K2s that received contributions.
+            key_set = set(state_keys_by_part[q])
+            key_set.update(grouped)
+            reduce_keys = sorted(key_set, key=sort_key)
+
+        part_outputs: List[Tuple[Any, Any]] = []
+        values_processed = 0
+        out_bytes = 0
+        for k2 in reduce_keys:
+            entries = grouped.get(k2, [])
+            values = [v2 for _, v2 in entries]
+            dv_new = algorithm.reduce_instance(k2, values)
+            part_outputs.append((k2, dv_new))
+            values_processed += len(values) + 1
+            out_bytes += record_size(k2, dv_new)
+            if capture_chunks and entries:
+                chunks[q].append((k2, entries))
+        outputs.extend(part_outputs)
+
+        task_cost = cost.cpu_time(values_processed, algorithm.reduce_cpu_weight)
+        task_cost += cost.disk_write_time(out_bytes)
+        reduce_loads[q % workers] += task_cost
+        reduce_task_costs[q] += task_cost
+        counters.add("reduce_groups", len(reduce_keys))
+        counters.add("reduce_values", values_processed)
+
+    # Fold outputs into the state and measure the total change.
+    if replicated:
+        prev_state = dict(state)
+        algorithm.assemble_state(new_state, outputs)
+        for dk, dv in new_state.items():
+            old = prev_state.get(dk)
+            if old is not None:
+                total_difference += algorithm.difference(dv, old)
+    else:
+        for dk, dv in outputs:
+            old = state.get(dk)
+            if old is not None:
+                total_difference += algorithm.difference(dv, old)
+        algorithm.assemble_state(new_state, outputs)
+        # Replicating the small state back to every partition costs one
+        # broadcast; co-partitioned algorithms pay nothing (§4.3).
+    if replicated:
+        state_total = sum(record_size(dk, dv) for dk, dv in new_state.items())
+        broadcast = cost.net_time(state_total * max(0, n - 1))
+        reduce_loads[0] += broadcast
+        counters.add("state_broadcast_bytes", state_total * max(0, n - 1))
+    times.reduce = max(reduce_loads)
+
+    if fault_context is not None:
+        times = fault_context.apply(
+            map_task_costs=map_task_costs,
+            reduce_task_costs=reduce_task_costs,
+            times=times,
+            cluster=cluster,
+        )
+
+    return FullIterationResult(
+        new_state=new_state,
+        outputs=outputs,
+        times=times,
+        counters=counters,
+        total_difference=total_difference,
+        chunks=chunks,
+    )
+
+
+@dataclass
+class IterMRResult:
+    """Result of an iterMR run."""
+
+    state: Dict[Any, Any]
+    iterations: int
+    converged: bool
+    per_iteration: List[IterationStats]
+    metrics: JobMetrics
+    preprocess_s: float
+    parts: Optional[PartitionedStructure] = None
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated seconds including startup and preprocessing."""
+        return self.metrics.total_time
+
+
+class IterMREngine:
+    """Runs :class:`IterativeJob` computations with the §4 optimizations."""
+
+    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
+        self.cluster = cluster
+        self.dfs = dfs
+
+    def run(
+        self,
+        job: IterativeJob,
+        structure_path: Optional[str] = None,
+        initial_state: Optional[Dict[Any, Any]] = None,
+        parts: Optional[PartitionedStructure] = None,
+        charge_preprocess: bool = True,
+        fault_context: Optional[Any] = None,
+    ) -> IterMRResult:
+        """Run the iterative computation to convergence or the budget.
+
+        Args:
+            structure_path: DFS path of the raw structure input (written
+                from the dataset when absent); used to charge the
+                preprocessing partition job.
+            initial_state: starting state (defaults to the algorithm's
+                initial state for the dataset).
+            parts: pre-partitioned structure (skips partitioning work).
+            charge_preprocess: include the partition job in the reported
+                time (Fig 8 includes it; Fig 9 excludes it).
+        """
+        job.validate()
+        algorithm = job.algorithm
+        cost = self.cluster.cost_model
+
+        if structure_path is None:
+            structure_path = f"/{algorithm.name}/structure"
+        if not self.dfs.exists(structure_path):
+            self.dfs.write(structure_path, algorithm.structure_records(job.dataset))
+        dfs_file = self.dfs.file(structure_path)
+
+        preprocess_s = 0.0
+        if parts is None:
+            records = self.dfs.read_all(structure_path)
+            parts = partition_structure(algorithm, records, job.num_partitions)
+            preprocess_s = partition_job_cost(
+                cost,
+                self.cluster.num_workers,
+                dfs_file.size_bytes,
+                dfs_file.num_records,
+                job.num_partitions,
+            )
+
+        state = dict(
+            initial_state
+            if initial_state is not None
+            else algorithm.initial_state(job.dataset)
+        )
+
+        metrics = JobMetrics()
+        metrics.times.startup = cost.job_startup_s
+        if charge_preprocess:
+            metrics.times.startup += preprocess_s
+
+        per_iteration: List[IterationStats] = []
+        converged = False
+        iterations = 0
+        for it in range(job.max_iterations):
+            result = run_full_iteration(
+                algorithm,
+                parts,
+                state,
+                self.cluster,
+                fault_context=fault_context,
+            )
+            state = result.new_state
+            iterations = it + 1
+            metrics.times.add(result.times)
+            metrics.counters.merge(result.counters)
+            per_iteration.append(
+                IterationStats(
+                    iteration=it,
+                    times=result.times,
+                    changed_keys=len(result.outputs),
+                    propagated_kv_pairs=len(result.outputs),
+                    total_difference=result.total_difference,
+                )
+            )
+            if job.epsilon is not None and result.total_difference <= job.epsilon:
+                converged = True
+                break
+
+        return IterMRResult(
+            state=state,
+            iterations=iterations,
+            converged=converged,
+            per_iteration=per_iteration,
+            metrics=metrics,
+            preprocess_s=preprocess_s,
+            parts=parts,
+        )

@@ -1,0 +1,168 @@
+"""Dependency-aware data partitioning (§4.3).
+
+Structure kv-pairs are partitioned by ``hash(project(SK))`` and state
+kv-pairs by ``hash(DK)`` with the *same* hash function, so interdependent
+pairs land in the same partition and the prime Map task can merge-join
+them without network traffic.  All-to-one algorithms (Kmeans) partition
+structure by ``hash(SK)`` instead and replicate the (small) state to every
+partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.cluster.costmodel import CostModel
+from repro.common.hashing import partition_for
+from repro.common.kvpair import sort_key
+from repro.common.sizeof import record_size
+from repro.iterative.api import Dependency
+
+
+@dataclass
+class PartitionedStructure:
+    """Structure data split into prime-Map partitions.
+
+    Attributes:
+        num_partitions: partition (= prime task) count ``n``.
+        replicated_state: True for all-to-one dependencies, where state is
+            replicated instead of co-partitioned.
+        groups: per partition, ``{DK: [(SK, SV), ...]}`` — the structure
+            kv-pairs grouped by their interdependent state key.
+        structure_bytes: per-partition encoded byte size (maintained
+            incrementally under delta mutations).
+        num_pairs: per-partition structure kv-pair count.
+    """
+
+    num_partitions: int
+    replicated_state: bool
+    groups: List[Dict[Any, List[Tuple[Any, Any]]]]
+    structure_bytes: List[int]
+    num_pairs: List[int]
+
+    def iter_groups(self, partition: int) -> Iterator[Tuple[Any, List[Tuple[Any, Any]]]]:
+        """Iterate ``(DK, pairs)`` groups of a partition in DK-sorted order.
+
+        The structure file is kept sorted by ``project(SK)`` (§4.3) so the
+        prime Map matches structure and state in one sequential pass; the
+        sorted iteration order reproduces that behaviour.
+        """
+        part = self.groups[partition]
+        for dk in sorted(part, key=sort_key):
+            yield dk, part[dk]
+
+    def insert_pair(self, algorithm: Any, sk: Any, sv: Any) -> int:
+        """Insert one structure kv-pair; returns its partition."""
+        partition = self.partition_of(algorithm, sk)
+        dk = algorithm.project(sk)
+        self.groups[partition].setdefault(dk, []).append((sk, sv))
+        self.structure_bytes[partition] += record_size(sk, sv)
+        self.num_pairs[partition] += 1
+        return partition
+
+    def delete_pair(self, algorithm: Any, sk: Any, sv: Any) -> int:
+        """Delete one structure kv-pair (matched by key and value).
+
+        Returns the partition; raises ``KeyError`` when the pair is absent
+        (a malformed delta input).
+        """
+        partition = self.partition_of(algorithm, sk)
+        dk = algorithm.project(sk)
+        pairs = self.groups[partition].get(dk, [])
+        try:
+            pairs.remove((sk, sv))
+        except ValueError:
+            raise KeyError(f"structure pair ({sk!r}, ...) not found for deletion") from None
+        if not pairs:
+            self.groups[partition].pop(dk, None)
+        self.structure_bytes[partition] -= record_size(sk, sv)
+        self.num_pairs[partition] -= 1
+        return partition
+
+    def partition_of(self, algorithm: Any, sk: Any) -> int:
+        """Partition holding the structure kv-pair with key ``sk``."""
+        if self.replicated_state:
+            return partition_for(sk, self.num_partitions)
+        return partition_for(algorithm.project(sk), self.num_partitions)
+
+    def total_pairs(self) -> int:
+        """Total structure kv-pairs across partitions."""
+        return sum(self.num_pairs)
+
+
+def partition_structure(
+    algorithm: Any,
+    records: List[Tuple[Any, Any]],
+    num_partitions: int,
+) -> PartitionedStructure:
+    """Partition structure records per the §4.3 scheme."""
+    replicated = algorithm.dependency is Dependency.ALL_TO_ONE
+    groups: List[Dict[Any, List[Tuple[Any, Any]]]] = [
+        {} for _ in range(num_partitions)
+    ]
+    structure_bytes = [0] * num_partitions
+    num_pairs = [0] * num_partitions
+    for sk, sv in records:
+        dk = algorithm.project(sk)
+        if replicated:
+            partition = partition_for(sk, num_partitions)
+        else:
+            partition = partition_for(dk, num_partitions)
+        groups[partition].setdefault(dk, []).append((sk, sv))
+        structure_bytes[partition] += record_size(sk, sv)
+        num_pairs[partition] += 1
+    return PartitionedStructure(
+        num_partitions=num_partitions,
+        replicated_state=replicated,
+        groups=groups,
+        structure_bytes=structure_bytes,
+        num_pairs=num_pairs,
+    )
+
+
+def state_partition(dk: Any, num_partitions: int) -> int:
+    """Partition of a state kv-pair: ``hash(DK, n)`` (Equation 1)."""
+    return partition_for(dk, num_partitions)
+
+
+def state_bytes_by_partition(
+    state: Dict[Any, Any],
+    num_partitions: int,
+    replicated: bool,
+) -> List[int]:
+    """Encoded state bytes each prime Map task reads per iteration."""
+    if replicated:
+        total = sum(record_size(dk, dv) for dk, dv in state.items())
+        return [total] * num_partitions
+    sizes = [0] * num_partitions
+    for dk, dv in state.items():
+        sizes[partition_for(dk, num_partitions)] += record_size(dk, dv)
+    return sizes
+
+
+def partition_job_cost(
+    cost_model: CostModel,
+    num_workers: int,
+    file_bytes: int,
+    num_records: int,
+    num_partitions: int,
+) -> float:
+    """Simulated cost of the preprocessing partition job (§4.3).
+
+    Reads and parses the raw input once, shuffles it by the partition
+    function (a ``(W-1)/W`` fraction crosses the network), sorts each
+    partition by ``project(SK)`` and writes it to the local file system.
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    per_worker_bytes = file_bytes / num_workers
+    per_worker_records = max(1, num_records // num_workers)
+    remote_fraction = (num_workers - 1) / num_workers
+    time_s = cost_model.disk_read_time(int(per_worker_bytes))
+    time_s += cost_model.parse_time(int(per_worker_bytes))
+    time_s += cost_model.cpu_time(per_worker_records)
+    time_s += cost_model.net_time(int(per_worker_bytes * remote_fraction))
+    time_s += cost_model.sort_time(per_worker_records)
+    time_s += cost_model.disk_write_time(int(per_worker_bytes))
+    return time_s

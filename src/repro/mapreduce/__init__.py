@@ -1,0 +1,25 @@
+"""Hadoop-like MapReduce engine over the simulated cluster."""
+
+from repro.mapreduce.api import (
+    Context,
+    IdentityMapper,
+    IdentityReducer,
+    Mapper,
+    Reducer,
+    default_partitioner,
+)
+from repro.mapreduce.engine import MapInputSplit, MapReduceEngine
+from repro.mapreduce.job import JobConf, JobResult
+
+__all__ = [
+    "Context",
+    "IdentityMapper",
+    "IdentityReducer",
+    "Mapper",
+    "Reducer",
+    "default_partitioner",
+    "MapInputSplit",
+    "MapReduceEngine",
+    "JobConf",
+    "JobResult",
+]

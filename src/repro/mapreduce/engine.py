@@ -1,0 +1,335 @@
+"""The vanilla (Hadoop-like) MapReduce execution engine.
+
+The engine executes real user map/reduce functions over real records and
+charges simulated time per the cluster cost model:
+
+- **map**: read the input block (local disk if the task was scheduled on a
+  replica holder, network otherwise), parse it, invoke ``map`` per record,
+  partition + sort the intermediate output, and spill it to local disk;
+- **shuffle**: each reduce task fetches its partition from every map task
+  (free of network cost when map and reduce ran on the same worker);
+- **sort**: reduce-side merge of the sorted map spills;
+- **reduce**: invoke ``reduce`` per group and write the output to the DFS.
+
+The phases are exposed individually (``map_phase`` / ``reduce_phase``) so
+the incremental and iterative engines can recompose them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.metrics import Counters, JobMetrics, StageTimes
+from repro.cluster.scheduler import TaskSpec, schedule_stage
+from repro.common.kvpair import group_sorted, sort_key
+from repro.common.sizeof import record_size
+from repro.dfs.filesystem import Block, DistributedFS
+from repro.mapreduce.api import Context, Mapper, Reducer
+from repro.mapreduce.job import JobConf, JobResult
+
+#: A source of map input: records plus their physical placement metadata.
+@dataclass
+class MapInputSplit:
+    """One map task's input: a record list plus placement/size metadata."""
+
+    records: Sequence[Tuple[Any, Any]]
+    size_bytes: int
+    locations: Sequence[int] = ()
+    parse_needed: bool = True
+
+    @classmethod
+    def from_block(cls, block: Block) -> "MapInputSplit":
+        return cls(
+            records=block.records,
+            size_bytes=block.size_bytes,
+            locations=block.locations,
+        )
+
+
+@dataclass
+class MapTaskOutput:
+    """Intermediate state produced by one map task."""
+
+    task_index: int
+    worker: int
+    #: partition index -> key-sorted list of (K2, V2)
+    partitions: Dict[int, List[Tuple[Any, Any]]]
+    partition_bytes: Dict[int, int]
+    cost_s: float
+
+
+@dataclass
+class MapPhaseResult:
+    """Aggregate result of the map phase."""
+
+    tasks: List[MapTaskOutput]
+    elapsed_s: float
+    counters: Counters
+
+
+@dataclass
+class ReducePhaseResult:
+    """Aggregate result of shuffle + sort + reduce."""
+
+    outputs: Dict[int, List[Tuple[Any, Any]]]
+    shuffle_s: float
+    sort_s: float
+    reduce_s: float
+    counters: Counters
+
+
+class MapReduceEngine:
+    """Runs :class:`JobConf` jobs on a simulated cluster."""
+
+    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
+        self.cluster = cluster
+        self.dfs = dfs
+
+    # ------------------------------------------------------------------ #
+    # public entry point                                                 #
+    # ------------------------------------------------------------------ #
+
+    def run(self, jobconf: JobConf, charge_startup: bool = True) -> JobResult:
+        """Execute one MapReduce job and write its output to the DFS."""
+        jobconf.validate()
+        splits = self.splits_for_inputs(jobconf.inputs)
+        map_result = self.map_phase(jobconf, splits)
+        reduce_result = self.reduce_phase(jobconf, map_result)
+
+        output_records: List[Tuple[Any, Any]] = []
+        for partition in sorted(reduce_result.outputs):
+            output_records.extend(reduce_result.outputs[partition])
+        self.dfs.write(jobconf.output, output_records, overwrite=True)
+
+        metrics = JobMetrics()
+        if charge_startup:
+            metrics.times.startup = self.cluster.cost_model.job_startup_s
+        metrics.times.map = map_result.elapsed_s
+        metrics.times.shuffle = reduce_result.shuffle_s
+        metrics.times.sort = reduce_result.sort_s
+        metrics.times.reduce = reduce_result.reduce_s
+        metrics.counters.merge(map_result.counters)
+        metrics.counters.merge(reduce_result.counters)
+        return JobResult(output=jobconf.output, metrics=metrics)
+
+    # ------------------------------------------------------------------ #
+    # map phase                                                          #
+    # ------------------------------------------------------------------ #
+
+    def splits_for_inputs(self, inputs: Sequence[str]) -> List[MapInputSplit]:
+        """One map input split per DFS block of the input paths."""
+        splits: List[MapInputSplit] = []
+        for path in inputs:
+            for block in self.dfs.file(path).blocks:
+                splits.append(MapInputSplit.from_block(block))
+        return splits
+
+    def map_phase(
+        self,
+        jobconf: JobConf,
+        splits: Sequence[MapInputSplit],
+    ) -> MapPhaseResult:
+        """Run one map task per split; returns sorted partitioned output."""
+        cost = self.cluster.cost_model
+        counters = Counters()
+        raw_tasks: List[MapTaskOutput] = []
+        specs: List[TaskSpec] = []
+
+        for index, split in enumerate(splits):
+            mapper = jobconf.mapper()
+            ctx = Context()
+            mapper.setup(ctx)
+            for key, value in split.records:
+                mapper.map(key, value, ctx)
+            mapper.cleanup(ctx)
+            emitted = ctx.take()
+            counters.merge(ctx.counters)
+            counters.add("map_input_records", len(split.records))
+            counters.add("map_input_bytes", split.size_bytes)
+            counters.add("map_output_records", len(emitted))
+
+            partitions, partition_bytes = self._partition_and_sort(
+                emitted, jobconf, counters
+            )
+
+            task_cost = cost.disk_read_time(split.size_bytes)
+            if split.parse_needed:
+                task_cost += cost.parse_time(split.size_bytes)
+            task_cost += cost.cpu_time(len(split.records), jobconf.mapper().cpu_weight)
+            task_cost += cost.sort_time(len(emitted))
+            spill_bytes = sum(partition_bytes.values())
+            task_cost += cost.disk_write_time(spill_bytes)
+            counters.add("map_spill_bytes", spill_bytes)
+
+            raw_tasks.append(
+                MapTaskOutput(
+                    task_index=index,
+                    worker=-1,
+                    partitions=partitions,
+                    partition_bytes=partition_bytes,
+                    cost_s=task_cost,
+                )
+            )
+            specs.append(
+                TaskSpec(
+                    task_id=str(index),
+                    cost_s=task_cost,
+                    preferred_workers=list(split.locations),
+                )
+            )
+
+        schedule = self.cluster.run_tasks(specs)
+        counters.add("map_locality_misses", schedule.locality_misses)
+
+        # Non-local tasks pay a network transfer of their input on top of
+        # the locally-computed cost.
+        loads = list(schedule.worker_loads)
+        for index, split in enumerate(splits):
+            worker = schedule.assignment[str(index)]
+            raw_tasks[index].worker = worker
+            if split.locations and worker not in split.locations:
+                extra = cost.net_time(split.size_bytes)
+                loads[worker] += extra
+                counters.add("map_remote_input_bytes", split.size_bytes)
+        elapsed = max(loads) if loads else 0.0
+        return MapPhaseResult(tasks=raw_tasks, elapsed_s=elapsed, counters=counters)
+
+    def _partition_and_sort(
+        self,
+        emitted: List[Tuple[Any, Any]],
+        jobconf: JobConf,
+        counters: Counters,
+    ) -> Tuple[Dict[int, List[Tuple[Any, Any]]], Dict[int, int]]:
+        partitions: Dict[int, List[Tuple[Any, Any]]] = {}
+        for key, value in emitted:
+            part = jobconf.partitioner(key, jobconf.num_reducers)
+            partitions.setdefault(part, []).append((key, value))
+        partition_bytes: Dict[int, int] = {}
+        for part, pairs in partitions.items():
+            pairs.sort(key=lambda kv: sort_key(kv[0]))
+            if jobconf.combiner is not None:
+                pairs = self._apply_combiner(jobconf, pairs, counters)
+                partitions[part] = pairs
+            partition_bytes[part] = sum(record_size(k, v) for k, v in pairs)
+        return partitions, partition_bytes
+
+    def _apply_combiner(
+        self,
+        jobconf: JobConf,
+        pairs: List[Tuple[Any, Any]],
+        counters: Counters,
+    ) -> List[Tuple[Any, Any]]:
+        combiner = jobconf.combiner()
+        ctx = Context()
+        combiner.setup(ctx)
+        for key, values in group_sorted(pairs):
+            combiner.reduce(key, values, ctx)
+        combiner.cleanup(ctx)
+        combined = ctx.take()
+        combined.sort(key=lambda kv: sort_key(kv[0]))
+        counters.add("combine_input_records", len(pairs))
+        counters.add("combine_output_records", len(combined))
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # shuffle + sort + reduce                                            #
+    # ------------------------------------------------------------------ #
+
+    def reduce_worker(self, partition: int) -> int:
+        """Deterministic placement of reduce task ``partition``."""
+        return partition % self.cluster.num_workers
+
+    def reduce_phase(
+        self,
+        jobconf: JobConf,
+        map_result: MapPhaseResult,
+        reducer_override: Optional[Callable[[], Reducer]] = None,
+        group_sink: Optional[Callable[[int, Any, List[Any]], None]] = None,
+        cached_runs: Optional[Dict[int, List[Tuple[List[Tuple[Any, Any]], int]]]] = None,
+    ) -> ReducePhaseResult:
+        """Shuffle, merge and reduce the map phase's output.
+
+        Args:
+            reducer_override: substitute reducer factory (used by engines
+                that wrap the user reducer).
+            group_sink: optional callback invoked per ``(partition, key,
+                values)`` group *before* the reducer runs; the incremental
+                engine uses it to persist MRBGraph chunks.
+            cached_runs: per-partition sorted runs already materialized on
+                the reduce worker's local disk (HaLoop's reducer-input
+                cache); charged as local reads instead of shuffle traffic.
+        """
+        cost = self.cluster.cost_model
+        counters = Counters()
+        reducer_factory = reducer_override or jobconf.reducer
+
+        shuffle_loads = [0.0] * self.cluster.num_workers
+        sort_loads = [0.0] * self.cluster.num_workers
+        reduce_loads = [0.0] * self.cluster.num_workers
+        outputs: Dict[int, List[Tuple[Any, Any]]] = {}
+
+        for part in range(jobconf.num_reducers):
+            worker = self.reduce_worker(part)
+            runs: List[List[Tuple[Any, Any]]] = []
+            fetch_s = 0.0
+            total_bytes = 0
+            for task in map_result.tasks:
+                pairs = task.partitions.get(part)
+                if not pairs:
+                    continue
+                nbytes = task.partition_bytes.get(part, 0)
+                total_bytes += nbytes
+                if task.worker == worker:
+                    fetch_s += cost.disk_read_time(nbytes)
+                else:
+                    fetch_s += cost.net_time(nbytes)
+                    counters.add("shuffle_net_bytes", nbytes)
+                runs.append(pairs)
+            if cached_runs is not None:
+                for run, nbytes in cached_runs.get(part, []):
+                    runs.append(run)
+                    total_bytes += nbytes
+                    fetch_s += cost.disk_read_time(nbytes)
+                    counters.add("reducer_cache_bytes", nbytes)
+            counters.add("shuffle_bytes", total_bytes)
+            shuffle_loads[worker] += fetch_s
+
+            merged = list(heapq.merge(*runs, key=lambda kv: sort_key(kv[0])))
+            sort_loads[worker] += cost.sort_time(len(merged))
+            counters.add("reduce_input_records", len(merged))
+
+            reducer = reducer_factory()
+            ctx = Context()
+            reducer.setup(ctx)
+            groups = 0
+            for key, values in group_sorted(merged):
+                groups += 1
+                if group_sink is not None:
+                    group_sink(part, key, values)
+                reducer.reduce(key, values, ctx)
+            reducer.cleanup(ctx)
+            emitted = ctx.take()
+            counters.merge(ctx.counters)
+            counters.add("reduce_input_groups", groups)
+            counters.add("reduce_output_records", len(emitted))
+            out_bytes = sum(record_size(k, v) for k, v in emitted)
+            counters.add("reduce_output_bytes", out_bytes)
+
+            reduce_loads[worker] += cost.cpu_time(len(merged), reducer.cpu_weight)
+            reduce_loads[worker] += cost.disk_write_time(out_bytes)
+            if self.dfs.replication > 1:
+                reduce_loads[worker] += cost.net_time(
+                    out_bytes * (self.dfs.replication - 1)
+                )
+            outputs[part] = emitted
+
+        return ReducePhaseResult(
+            outputs=outputs,
+            shuffle_s=max(shuffle_loads),
+            sort_s=max(sort_loads),
+            reduce_s=max(reduce_loads),
+            counters=counters,
+        )

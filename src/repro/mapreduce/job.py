@@ -1,0 +1,65 @@
+"""Job configuration and results for the vanilla MapReduce engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.cluster.metrics import JobMetrics
+from repro.common.errors import InvalidJobConf
+from repro.mapreduce.api import Mapper, Partitioner, Reducer, default_partitioner
+
+MapperFactory = Callable[[], Mapper]
+ReducerFactory = Callable[[], Reducer]
+
+
+@dataclass
+class JobConf:
+    """Configuration of one MapReduce job.
+
+    Attributes:
+        name: human-readable job name (used in output paths and logs).
+        mapper: zero-argument factory producing a :class:`Mapper` per task
+            (pass the class itself for stateless mappers).
+        reducer: factory producing a :class:`Reducer` per task.
+        inputs: DFS input paths; one map task runs per block.
+        output: DFS output path.
+        num_reducers: number of reduce tasks.
+        combiner: optional reducer factory applied map-side per partition.
+        partitioner: shuffle partition function on K2.
+    """
+
+    name: str
+    mapper: MapperFactory
+    reducer: ReducerFactory
+    inputs: Sequence[str]
+    output: str
+    num_reducers: int = 4
+    combiner: Optional[ReducerFactory] = None
+    partitioner: Partitioner = default_partitioner
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidJobConf` on an unusable configuration."""
+        if not self.name:
+            raise InvalidJobConf("job name must be non-empty")
+        if not self.inputs:
+            raise InvalidJobConf("job needs at least one input path")
+        if not self.output:
+            raise InvalidJobConf("job needs an output path")
+        if self.num_reducers <= 0:
+            raise InvalidJobConf("num_reducers must be positive")
+        if not callable(self.mapper) or not callable(self.reducer):
+            raise InvalidJobConf("mapper and reducer must be factories")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one engine run."""
+
+    output: str
+    metrics: JobMetrics = field(default_factory=JobMetrics)
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated seconds."""
+        return self.metrics.total_time

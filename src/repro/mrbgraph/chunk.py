@@ -1,0 +1,47 @@
+"""On-disk chunk codec for the MRBG-Store.
+
+A chunk is the preserved input of one Reduce instance: the ``K2`` plus the
+list of ``(MK, V2)`` edges, "stored contiguously" (§3.4).  Chunks are the
+basic I/O unit — the store "always reads, writes, and operates on entire
+chunks".  The codec is a length-prefixed record of the binary serialization
+format, so Table 4's byte counts come from real encoded sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.common.errors import SerializationError
+from repro.common.serialization import decode_record, encode_record
+from repro.mrbgraph.graph import Edge
+
+
+def encode_chunk(k2: Any, entries: List[Edge]) -> bytes:
+    """Encode one chunk to its on-disk representation."""
+    payload = [(mk, value) for mk, value in entries]
+    return encode_record(k2, payload)
+
+
+def decode_chunk(buf: bytes, offset: int = 0) -> Tuple[Any, List[Edge], int]:
+    """Decode one chunk from ``buf`` at ``offset``.
+
+    Returns:
+        ``(k2, entries, next_offset)``.
+
+    Raises:
+        SerializationError: on corrupt bytes or a non-chunk record.
+    """
+    k2, payload, next_offset = decode_record(buf, offset)
+    if not isinstance(payload, list):
+        raise SerializationError("chunk payload is not an edge list")
+    entries = []
+    for item in payload:
+        if not isinstance(item, tuple) or len(item) != 2:
+            raise SerializationError("chunk edge is not an (mk, value) pair")
+        entries.append(Edge(item[0], item[1]))
+    return k2, entries, next_offset
+
+
+def chunk_size(k2: Any, entries: List[Edge]) -> int:
+    """Encoded byte size of a chunk (without encoding twice elsewhere)."""
+    return len(encode_chunk(k2, entries))

@@ -1,0 +1,64 @@
+"""MRBGraph edge model (§3.2).
+
+A MRBGraph edge records that one Map function call instance (identified by
+its globally unique Map key ``MK``) contributed an intermediate value
+``V2`` to one Reduce instance (identified by ``K2``).  The preserved state
+``M`` of a job is the set of ``(K2, MK, V2)`` triples; a *delta* MRBGraph
+additionally marks each edge as inserted or deleted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, NamedTuple, Tuple
+
+from repro.common.kvpair import Op, sort_key
+
+
+class Edge(NamedTuple):
+    """A preserved MRBGraph edge (within one Reduce instance's chunk)."""
+
+    mk: int
+    value: Any
+
+
+class DeltaEdge(NamedTuple):
+    """A change to the MRBGraph: an inserted or deleted edge."""
+
+    mk: int
+    value: Any
+    op: Op
+
+
+def apply_delta(
+    old_entries: List[Edge],
+    delta_entries: Iterable[DeltaEdge],
+) -> List[Edge]:
+    """Merge delta edges into a chunk's preserved edge list (§3.3).
+
+    For each deletion the matching saved edge (by MK) is removed; for each
+    insertion the engine "first checks duplicates, and inserts the new edge
+    if no duplicate exists, or else updates the old edge" — ``(K2, MK)``
+    uniquely identifies an edge.
+    """
+    merged: Dict[int, Any] = {mk: value for mk, value in old_entries}
+    for mk, value, op in delta_entries:
+        if op is Op.DELETE:
+            merged.pop(mk, None)
+        else:
+            merged[mk] = value
+    return [Edge(mk, merged[mk]) for mk in sorted(merged)]
+
+
+def group_delta_by_key(
+    delta_edges: Iterable[Tuple[Any, DeltaEdge]],
+) -> List[Tuple[Any, List[DeltaEdge]]]:
+    """Group ``(K2, DeltaEdge)`` pairs by K2, sorted by K2.
+
+    The shuffle phase delivers delta edges sorted by K2 (§3.3); this helper
+    reproduces that grouping for callers that build delta MRBGraphs
+    directly.
+    """
+    grouped: Dict[Any, List[DeltaEdge]] = {}
+    for k2, edge in delta_edges:
+        grouped.setdefault(k2, []).append(edge)
+    return sorted(grouped.items(), key=lambda item: sort_key(item[0]))

@@ -1,0 +1,408 @@
+"""The MRBG-Store: preservation and retrieval of fine-grain MRBGraph state.
+
+This is a *real* storage engine (§3.4): chunks live in an append-only
+binary file on local disk, a hash index maps each ``K2`` to its latest
+chunk position, reads go through genuine file handles, and newly merged
+chunks are buffered in memory and appended sequentially.  Obsolete chunk
+versions stay in the file until an offline compaction rewrites it —
+consequently an iterative incremental job leaves *multiple sorted batches*
+of chunks in the file, which is exactly the access pattern the
+multi-dynamic-window query strategy (§5.2) optimizes.
+
+Simulated time (`metrics.read_time_s`, `metrics.write_time_s`) is charged
+from the cost model per physical I/O, while I/O request counts and byte
+counts are measured facts — Table 4 reports all three.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.cluster.costmodel import CostModel
+from repro.common import config
+from repro.common.errors import StoreClosedError, StoreError
+from repro.common.kvpair import sort_key
+from repro.common.serialization import decode, encode
+from repro.mrbgraph.chunk import decode_chunk, encode_chunk
+from repro.mrbgraph.graph import DeltaEdge, Edge, apply_delta
+from repro.mrbgraph.windows import (
+    ChunkLocation,
+    MultiDynamicWindowPolicy,
+    WindowPolicy,
+)
+
+_DATA_FILE = "mrbg.dat"
+_INDEX_FILE = "mrbg.idx"
+
+
+@dataclass
+class StoreMetrics:
+    """Measured and simulated I/O statistics of one MRBG-Store."""
+
+    io_reads: int = 0
+    bytes_read: int = 0
+    read_time_s: float = 0.0
+    io_writes: int = 0
+    bytes_written: int = 0
+    write_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    compactions: int = 0
+    compact_time_s: float = 0.0
+
+    def reset(self) -> None:
+        """Zero every statistic."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0 if isinstance(getattr(self, name), int) else 0.0)
+
+    def merged_into(self, other: "StoreMetrics") -> None:
+        """Accumulate this store's statistics into ``other``."""
+        for name in self.__dataclass_fields__:
+            setattr(other, name, getattr(other, name) + getattr(self, name))
+
+    def snapshot(self) -> "StoreMetrics":
+        """Copy of the current statistics (for delta accounting)."""
+        clone = StoreMetrics()
+        self.merged_into(clone)
+        return clone
+
+    def since(self, snap: "StoreMetrics") -> "StoreMetrics":
+        """Statistics accumulated since ``snap`` was taken."""
+        diff = StoreMetrics()
+        for name in self.__dataclass_fields__:
+            setattr(diff, name, getattr(self, name) - getattr(snap, name))
+        return diff
+
+
+class MRBGStore:
+    """On-disk store of MRBGraph chunks for one Reduce task."""
+
+    def __init__(
+        self,
+        directory: str,
+        policy: Optional[WindowPolicy] = None,
+        cost_model: Optional[CostModel] = None,
+        append_buffer_size: int = config.DEFAULT_APPEND_BUFFER_SIZE,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.policy: WindowPolicy = policy or MultiDynamicWindowPolicy()
+        self.cost_model = cost_model or CostModel()
+        self.append_buffer_size = append_buffer_size
+        self.metrics = StoreMetrics()
+
+        self._data_path = os.path.join(directory, _DATA_FILE)
+        if not os.path.exists(self._data_path):
+            with open(self._data_path, "wb"):
+                pass
+        self._fh = open(self._data_path, "r+b")
+        self._file_size = os.path.getsize(self._data_path)
+        self._closed = False
+
+        self._index: Dict[Any, ChunkLocation] = {}
+        self._num_batches = 0
+
+        # Append-buffer state for the write session in progress.
+        self._buffer: List[bytes] = []
+        self._buffer_len = 0
+        self._pending_index: Dict[Any, ChunkLocation] = {}
+        self._pending_deletes: List[Any] = []
+        self._in_session = False
+
+        # Read-cache windows: slot -> (start_offset, bytes).
+        self._windows: Dict[int, Tuple[int, bytes]] = {}
+
+        # Query plan (set by begin_merge).
+        self._plan_key_slot: Dict[Any, Tuple[int, int]] = {}
+        self._plan_batch_lists: Dict[int, List[ChunkLocation]] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        policy: Optional[WindowPolicy] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> "MRBGStore":
+        """Reopen a store previously persisted with :meth:`save_index`."""
+        store = cls(directory, policy=policy, cost_model=cost_model)
+        index_path = os.path.join(directory, _INDEX_FILE)
+        if os.path.exists(index_path):
+            with open(index_path, "rb") as fh:
+                raw = fh.read()
+            payload, _ = decode(raw)
+            store._num_batches = payload["num_batches"]
+            store._index = {
+                key: ChunkLocation(offset, length, batch)
+                for key, offset, length, batch in payload["entries"]
+            }
+        return store
+
+    def save_index(self) -> int:
+        """Persist the hash index to disk; returns bytes written."""
+        self._check_open()
+        payload = {
+            "num_batches": self._num_batches,
+            "entries": [
+                (key, loc.offset, loc.length, loc.batch)
+                for key, loc in self._index.items()
+            ],
+        }
+        raw = encode(payload)
+        with open(os.path.join(self.directory, _INDEX_FILE), "wb") as fh:
+            fh.write(raw)
+        return len(raw)
+
+    def close(self) -> None:
+        """Flush any open session and release the file handle."""
+        if self._closed:
+            return
+        if self._in_session:
+            self.end_merge()
+        self._fh.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._index
+
+    def keys(self) -> List[Any]:
+        """Live chunk keys in K2-sorted order."""
+        return sorted(self._index, key=sort_key)
+
+    @property
+    def file_size(self) -> int:
+        """Current data-file size in bytes (flushed content only)."""
+        return self._file_size
+
+    @property
+    def num_batches(self) -> int:
+        """Number of sorted batches appended so far."""
+        return self._num_batches
+
+    def live_bytes(self) -> int:
+        """Bytes occupied by the latest version of every live chunk."""
+        return sum(loc.length for loc in self._index.values())
+
+    def checkpoint_bytes(self) -> int:
+        """Bytes a per-iteration checkpoint of this store would copy (§6.1)."""
+        return self.live_bytes()
+
+    # ------------------------------------------------------------------ #
+    # building and merging                                               #
+    # ------------------------------------------------------------------ #
+
+    def build(self, sorted_chunks: Iterable[Tuple[Any, List[Edge]]]) -> None:
+        """Write the initial MRBGraph as the first sorted batch."""
+        self._check_open()
+        self._begin_session()
+        for k2, entries in sorted_chunks:
+            self.put_chunk(k2, entries)
+        self.end_merge()
+
+    def begin_merge(self, queried_keys: Iterable[Any]) -> None:
+        """Start a merge session; ``queried_keys`` is the sorted key list L.
+
+        The query plan lets the window policy look ahead at the positions
+        of upcoming chunks (Algorithm 1 line 3: "k's index in L").
+        """
+        self._check_open()
+        if self._in_session:
+            raise StoreError("merge session already in progress")
+        self._begin_session()
+        self._plan_key_slot.clear()
+        self._plan_batch_lists.clear()
+        for key in queried_keys:
+            loc = self._index.get(key)
+            if loc is None:
+                continue
+            batch_list = self._plan_batch_lists.setdefault(loc.batch, [])
+            self._plan_key_slot[key] = (loc.batch, len(batch_list))
+            batch_list.append(loc)
+        self._windows.clear()
+
+    def _begin_session(self) -> None:
+        self._in_session = True
+        self._buffer = []
+        self._buffer_len = 0
+        self._pending_index = {}
+        self._pending_deletes = []
+
+    def get_chunk(self, key: Any) -> Optional[List[Edge]]:
+        """Retrieve the latest preserved chunk for ``key`` (None if absent).
+
+        Reads go through the read cache; on a miss the window policy plans
+        a physical read that may prefetch upcoming queried chunks.
+        """
+        self._check_open()
+        loc = self._index.get(key)
+        if loc is None:
+            return None
+        slot = loc.batch if self.policy.per_batch_windows else 0
+        window = self._windows.get(slot)
+        if window is not None:
+            start, data = window
+            if start <= loc.offset and loc.offset + loc.length <= start + len(data):
+                self.metrics.cache_hits += 1
+                rel = loc.offset - start
+                _, entries, _ = decode_chunk(data, rel)
+                return entries
+        self.metrics.cache_misses += 1
+        upcoming = self._upcoming_in_batch(key, loc)
+        plan = self.policy.plan(loc, upcoming, self._file_size)
+        data = self._physical_read(plan.offset, plan.nbytes)
+        self._windows[slot] = (plan.offset, data)
+        _, entries, _ = decode_chunk(data, loc.offset - plan.offset)
+        return entries
+
+    def _upcoming_in_batch(self, key: Any, loc: ChunkLocation) -> List[ChunkLocation]:
+        slot = self._plan_key_slot.get(key)
+        if slot is None:
+            return []
+        batch, position = slot
+        batch_list = self._plan_batch_lists.get(batch, [])
+        return batch_list[position + 1 : position + 257]
+
+    def _physical_read(self, offset: int, nbytes: int) -> bytes:
+        self._fh.seek(offset)
+        data = self._fh.read(nbytes)
+        self.metrics.io_reads += 1
+        self.metrics.bytes_read += len(data)
+        self.metrics.read_time_s += self.cost_model.store_read_time(len(data))
+        return data
+
+    def put_chunk(self, key: Any, entries: List[Edge]) -> None:
+        """Stage the updated chunk for ``key`` in the append buffer."""
+        self._check_open()
+        if not self._in_session:
+            raise StoreError("put_chunk outside a merge session")
+        raw = encode_chunk(key, entries)
+        offset = self._file_size + self._buffer_len
+        self._buffer.append(raw)
+        self._buffer_len += len(raw)
+        self._pending_index[key] = ChunkLocation(offset, len(raw), self._num_batches)
+        if self._buffer_len >= self.append_buffer_size:
+            self._flush_buffer()
+
+    def delete_chunk(self, key: Any) -> None:
+        """Stage removal of ``key``'s chunk (applied at session end)."""
+        self._check_open()
+        if not self._in_session:
+            raise StoreError("delete_chunk outside a merge session")
+        self._pending_deletes.append(key)
+        self._pending_index.pop(key, None)
+
+    def _flush_buffer(self) -> None:
+        if not self._buffer:
+            return
+        raw = b"".join(self._buffer)
+        self._fh.seek(self._file_size)
+        self._fh.write(raw)
+        self._fh.flush()
+        self._file_size += len(raw)
+        self.metrics.io_writes += 1
+        self.metrics.bytes_written += len(raw)
+        self.metrics.write_time_s += self.cost_model.store_write_time(len(raw))
+        self._buffer = []
+        self._buffer_len = 0
+
+    def end_merge(self) -> None:
+        """Flush the append buffer and publish the new batch in the index."""
+        self._check_open()
+        if not self._in_session:
+            raise StoreError("end_merge without begin_merge")
+        self._flush_buffer()
+        wrote_any = bool(self._pending_index)
+        for key in self._pending_deletes:
+            self._index.pop(key, None)
+        self._index.update(self._pending_index)
+        if wrote_any:
+            self._num_batches += 1
+        self._pending_index = {}
+        self._pending_deletes = []
+        self._in_session = False
+        self._plan_key_slot.clear()
+        self._plan_batch_lists.clear()
+
+    def merge_delta(
+        self,
+        delta_by_key: Iterable[Tuple[Any, List[DeltaEdge]]],
+    ) -> Iterator[Tuple[Any, List[Edge]]]:
+        """Join a sorted delta MRBGraph against the store (§3.3–3.4).
+
+        For each affected K2 (in sorted order) the preserved chunk is
+        retrieved, the delta's insertions/deletions/updates are applied,
+        the merged chunk is re-appended (or deleted when it became empty),
+        and the merged edge list is yielded so the caller can re-run the
+        Reduce instance.
+        """
+        delta_list = list(delta_by_key)
+        self.begin_merge([k2 for k2, _ in delta_list])
+        try:
+            for k2, delta_edges in delta_list:
+                old = self.get_chunk(k2) or []
+                merged = apply_delta(old, delta_edges)
+                if merged:
+                    self.put_chunk(k2, merged)
+                else:
+                    self.delete_chunk(k2)
+                yield k2, merged
+        finally:
+            self.end_merge()
+
+    # ------------------------------------------------------------------ #
+    # compaction                                                         #
+    # ------------------------------------------------------------------ #
+
+    def compact(self) -> None:
+        """Offline reconstruction: rewrite live chunks as one sorted batch.
+
+        The paper performs this "when the worker is idle" (§3.4), so its
+        cost is tracked separately (``metrics.compact_time_s``) and never
+        charged to a job's runtime by the engines.
+        """
+        self._check_open()
+        if self._in_session:
+            raise StoreError("cannot compact during a merge session")
+        self._fh.seek(0)
+        whole = self._fh.read(self._file_size)
+        compact_read_s = self.cost_model.store_read_time(len(whole))
+
+        new_index: Dict[Any, ChunkLocation] = {}
+        pieces: List[bytes] = []
+        offset = 0
+        for key in self.keys():
+            loc = self._index[key]
+            raw = whole[loc.offset : loc.offset + loc.length]
+            new_index[key] = ChunkLocation(offset, len(raw), 0)
+            pieces.append(raw)
+            offset += len(raw)
+        payload = b"".join(pieces)
+
+        self._fh.seek(0)
+        self._fh.write(payload)
+        self._fh.truncate(len(payload))
+        self._fh.flush()
+        self._file_size = len(payload)
+        self._index = new_index
+        self._num_batches = 1 if new_index else 0
+        self._windows.clear()
+        self.metrics.compactions += 1
+        self.metrics.compact_time_s += compact_read_s + self.cost_model.store_write_time(
+            len(payload)
+        )

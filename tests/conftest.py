@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite.
+
+Everything is deterministic: clusters are seeded, datasets are seeded,
+and simulated time is pure arithmetic — a test that passes once passes
+always.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CostModel
+from repro.dfs.filesystem import DistributedFS
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """A small deterministic cluster."""
+    return Cluster(num_workers=4, seed=7)
+
+
+@pytest.fixture
+def dfs(cluster: Cluster) -> DistributedFS:
+    """A DFS with small blocks so inputs split into several map tasks."""
+    return DistributedFS(cluster, block_size=4 * 1024)
+
+
+@pytest.fixture
+def big_block_dfs(cluster: Cluster) -> DistributedFS:
+    """A DFS with large blocks (single map task per small file)."""
+    return DistributedFS(cluster, block_size=64 * 1024 * 1024)
+
+
+def fresh_cluster(num_workers: int = 4, seed: int = 7, **cost_overrides):
+    """Non-fixture helper for tests needing several isolated clusters."""
+    cost = CostModel().scaled(**cost_overrides) if cost_overrides else CostModel()
+    cluster = Cluster(num_workers=num_workers, cost_model=cost, seed=seed)
+    return cluster, DistributedFS(cluster, block_size=16 * 1024)

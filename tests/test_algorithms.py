@@ -1,0 +1,190 @@
+"""Per-algorithm unit tests: the §4 API contracts and references."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms.apriori import APriori, APrioriMapper
+from repro.algorithms.gimv import GIMV
+from repro.algorithms.kmeans import Kmeans, STATE_KEY, _nearest_centroid
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import INF, SSSP
+from repro.algorithms.wordcount import WordCountMapper, reference_wordcount
+from repro.datasets.graphs import powerlaw_web_graph, weighted_graph_from
+from repro.datasets.matrices import block_matrix
+from repro.datasets.points import gaussian_points
+from repro.datasets.text import zipf_tweets
+from repro.mapreduce.api import Context
+
+
+class TestPageRankUnit:
+    def test_map_spreads_rank(self):
+        pr = PageRank()
+        out = pr.map_instance(0, ((1, 2, 3), ""), 0, 0.9)
+        assert out == [(1, 0.3), (2, 0.3), (3, 0.3)]
+
+    def test_map_no_links(self):
+        assert PageRank().map_instance(0, ((), ""), 0, 1.0) == []
+
+    def test_reduce_applies_damping(self):
+        pr = PageRank(damping=0.8)
+        assert pr.reduce_instance(0, [0.5, 0.5]) == pytest.approx(1.0)
+        assert pr.reduce_instance(0, []) == pytest.approx(0.2)
+
+    def test_projection_identity(self):
+        assert PageRank().project(42) == 42
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.5)
+
+    def test_reference_preserves_total_rank_shape(self):
+        graph = powerlaw_web_graph(100, 5, seed=1)
+        ranks = PageRank().reference(graph, 10)
+        assert len(ranks) == 100
+        assert all(r >= 0.2 - 1e-12 for r in ranks.values())
+
+
+class TestSSSPUnit:
+    def test_map_relaxes_edges(self):
+        sssp = SSSP(source=0)
+        out = sssp.map_instance(1, (((2, 1.5), (3, 2.0)), ""), 1, 1.0)
+        assert out == [(2, 2.5), (3, 3.0)]
+
+    def test_map_from_unreachable(self):
+        assert SSSP().map_instance(1, (((2, 1.0),), ""), 1, INF) == []
+
+    def test_reduce_takes_min(self):
+        sssp = SSSP(source=0)
+        assert sssp.reduce_instance(5, [3.0, 1.0, 2.0]) == 1.0
+        assert sssp.reduce_instance(5, []) == INF
+        assert sssp.reduce_instance(0, [9.0]) == 0.0  # source pinned
+
+    def test_difference_handles_infinity(self):
+        sssp = SSSP()
+        assert sssp.difference(INF, INF) == 0.0
+        assert sssp.difference(1.0, INF) > 1e6
+        assert sssp.difference(3.0, 1.0) == pytest.approx(2.0)
+
+    def test_reference_matches_networkx(self):
+        import networkx as nx
+
+        base = powerlaw_web_graph(80, 5, seed=7)
+        graph = weighted_graph_from(base, seed=8)
+        dist = SSSP(source=0).reference(graph, 80)
+
+        g = nx.DiGraph()
+        g.add_nodes_from(graph.out_links)
+        for i, links in graph.out_links.items():
+            for j, w in links:
+                g.add_edge(i, j, weight=w)
+        expected = nx.single_source_dijkstra_path_length(g, 0)
+        for v in graph.out_links:
+            if v in expected:
+                assert dist[v] == pytest.approx(expected[v])
+            else:
+                assert dist[v] == INF
+
+
+class TestKmeansUnit:
+    def test_nearest_centroid_ties_break_low(self):
+        centroids = ((0, (0.0,)), (1, (2.0,)))
+        assert _nearest_centroid((1.0,), centroids) == 0  # equidistant
+
+    def test_map_assigns_nearest(self):
+        km = Kmeans(k=2, dim=2)
+        centroids = ((0, (0.0, 0.0)), (1, (10.0, 10.0)))
+        assert km.map_instance(5, (1.0, 1.0), STATE_KEY, centroids) == [
+            (0, ((1.0, 1.0), 1))
+        ]
+
+    def test_reduce_averages(self):
+        km = Kmeans(k=2, dim=2)
+        result = km.reduce_instance(0, [((2.0, 0.0), 1), ((4.0, 2.0), 1)])
+        assert result == pytest.approx((3.0, 1.0))
+
+    def test_reduce_empty_returns_none(self):
+        assert Kmeans().reduce_instance(0, []) is None
+
+    def test_assemble_keeps_missing_centroids(self):
+        km = Kmeans(k=2, dim=1)
+        state = {STATE_KEY: ((0, (1.0,)), (1, (5.0,)))}
+        km.assemble_state(state, [(0, (2.0,))])
+        assert dict(state[STATE_KEY]) == {0: (2.0,), 1: (5.0,)}
+
+    def test_difference_is_max_movement(self):
+        km = Kmeans(k=2, dim=1)
+        old = ((0, (0.0,)), (1, (0.0,)))
+        new = ((0, (1.0,)), (1, (3.0,)))
+        assert km.difference(new, old) == pytest.approx(3.0)
+
+
+class TestGIMVUnit:
+    def test_combine2_sparse_multiply(self):
+        gimv = GIMV(block_size=3)
+        block = ((0, 1, 2.0), (2, 0, 1.0))
+        assert gimv.combine2(block, (1.0, 2.0, 3.0)) == (4.0, 0.0, 1.0)
+
+    def test_combine_all_sums(self):
+        gimv = GIMV(block_size=2)
+        assert gimv.combine_all([(1.0, 2.0), (3.0, 4.0)]) == (4.0, 6.0)
+
+    def test_assign_damps(self):
+        gimv = GIMV(block_size=2, beta=0.5)
+        assert gimv.assign(None, (2.0, 4.0)) == (1.5, 2.5)
+
+    def test_reduce_instance_composes(self):
+        gimv = GIMV(block_size=2, beta=0.5)
+        out = gimv.reduce_instance(0, [(2.0, 0.0), (0.0, 2.0)])
+        assert out == (1.5, 1.5)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            GIMV(beta=1.0)
+
+    def test_reference_bounded(self):
+        matrix = block_matrix(4, 8, 0.1, seed=3)
+        gimv = GIMV(block_size=8)
+        vec = gimv.reference(matrix, 30)
+        for block in vec.values():
+            assert all(0.0 <= x <= 2.0 for x in block)
+
+
+class TestAPrioriUnit:
+    def test_mapper_counts_candidate_pairs(self):
+        mapper = APrioriMapper([("a", "b"), ("a", "c")])
+        ctx = Context()
+        mapper.map(0, "a b x y", ctx)
+        assert ctx.take() == [(("a", "b"), 1)]
+
+    def test_mapper_needs_both_words(self):
+        mapper = APrioriMapper([("a", "b")])
+        ctx = Context()
+        mapper.map(0, "a x y", ctx)
+        assert ctx.take() == []
+
+    def test_duplicate_words_count_once(self):
+        mapper = APrioriMapper([("a", "b")])
+        ctx = Context()
+        mapper.map(0, "a a b b", ctx)
+        assert ctx.take() == [(("a", "b"), 1)]
+
+    def test_reference_counts(self):
+        dataset = zipf_tweets(100, seed=1)
+        counts = APriori(dataset).reference_counts(dataset.tweets)
+        for pair, count in counts.items():
+            assert pair in dataset.candidate_pairs
+            assert count > 0
+
+
+class TestWordCountUnit:
+    def test_mapper(self):
+        ctx = Context()
+        WordCountMapper().map(0, "a b a", ctx)
+        assert ctx.take() == [("a", 1), ("b", 1), ("a", 1)]
+
+    def test_reference(self):
+        docs = [(0, "a b"), (1, "a")]
+        assert reference_wordcount(docs) == {"a": 2, "b": 1}

@@ -1,0 +1,238 @@
+"""Tests for the comparison systems: PlainMR, HaLoop, Spark-like, Incoop."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.gimv import GIMV
+from repro.algorithms.kmeans import Kmeans
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.baselines.haloop import HaLoopDriver
+from repro.baselines.incoop import IncoopEngine, content_defined_chunks
+from repro.baselines.plainmr import PlainMRDriver
+from repro.baselines.spark import SparkLikeDriver
+from repro.datasets.graphs import powerlaw_web_graph, weighted_graph_from
+from repro.datasets.matrices import block_matrix
+from repro.datasets.points import gaussian_points
+from repro.incremental.api import SumReducer
+from repro.mapreduce.api import Mapper
+from repro.mapreduce.job import JobConf
+
+from tests.conftest import fresh_cluster
+
+
+def pagerank_world(n=250, seed=6, iterations=5):
+    graph = powerlaw_web_graph(n, 5, seed=seed)
+    algorithm = PageRank()
+    reference = algorithm.reference(graph, iterations)
+    return graph, algorithm, reference, iterations
+
+
+class TestEngineAgreement:
+    """All execution systems must compute identical results."""
+
+    def test_pagerank_agreement(self):
+        graph, algorithm, reference, iters = pagerank_world()
+        for driver_cls in (PlainMRDriver, HaLoopDriver, SparkLikeDriver):
+            cluster, dfs = fresh_cluster()
+            result = driver_cls(cluster, dfs).run(
+                algorithm, graph, max_iterations=iters
+            )
+            worst = max(abs(result.state[k] - reference[k]) for k in reference)
+            assert worst < 1e-9, driver_cls.__name__
+
+    def test_sssp_agreement(self):
+        base = powerlaw_web_graph(200, 5, seed=13)
+        graph = weighted_graph_from(base, seed=1)
+        algorithm = SSSP(source=0)
+        reference = algorithm.reference(graph, 6)
+        for driver_cls in (PlainMRDriver, HaLoopDriver, SparkLikeDriver):
+            cluster, dfs = fresh_cluster()
+            result = driver_cls(cluster, dfs).run(
+                algorithm, graph, max_iterations=6
+            )
+            for k, expected in reference.items():
+                got = result.state[k]
+                assert got == expected or abs(got - expected) < 1e-9
+
+    def test_kmeans_agreement(self):
+        points = gaussian_points(200, dim=3, k=3, seed=5)
+        algorithm = Kmeans(k=3, dim=3)
+        reference = algorithm.reference(points, 4)
+        for driver_cls in (PlainMRDriver, HaLoopDriver, SparkLikeDriver):
+            cluster, dfs = fresh_cluster()
+            result = driver_cls(cluster, dfs).run(
+                algorithm, points, max_iterations=4
+            )
+            assert algorithm.difference(result.state[1], reference[1]) < 1e-9
+
+    def test_gimv_agreement(self):
+        matrix = block_matrix(num_blocks=5, block_size=10, density=0.08, seed=4)
+        algorithm = GIMV(block_size=10)
+        reference = algorithm.reference(matrix, 4)
+        for driver_cls in (PlainMRDriver, HaLoopDriver, SparkLikeDriver):
+            cluster, dfs = fresh_cluster()
+            result = driver_cls(cluster, dfs).run(
+                algorithm, matrix, max_iterations=4
+            )
+            worst = max(
+                max(abs(a - b) for a, b in zip(result.state[j], reference[j]))
+                for j in reference
+            )
+            assert worst < 1e-9, driver_cls.__name__
+
+
+class TestCostShapes:
+    def test_haloop_pays_startup_once(self):
+        graph, algorithm, _, iters = pagerank_world(n=150)
+        cluster, dfs = fresh_cluster()
+        plain = PlainMRDriver(cluster, dfs).run(algorithm, graph, max_iterations=iters)
+        cluster, dfs = fresh_cluster()
+        haloop = HaLoopDriver(cluster, dfs).run(algorithm, graph, max_iterations=iters)
+        # PlainMR pays startup per job per iteration; HaLoop once per loop job.
+        assert plain.metrics.times.startup == pytest.approx(
+            iters * cluster.cost_model.job_startup_s
+        )
+        assert haloop.metrics.times.startup == pytest.approx(
+            2 * cluster.cost_model.job_startup_s
+        )
+
+    def test_haloop_cache_kills_structure_shuffle(self):
+        graph, algorithm, _, _ = pagerank_world(n=200)
+        cluster, dfs = fresh_cluster()
+        driver = HaLoopDriver(cluster, dfs)
+        result = driver.run(algorithm, graph, max_iterations=4)
+        # Reducer-cache hits are recorded from iteration 2 on.
+        assert result.metrics.counters.get("reducer_cache_bytes") > 0
+
+    def test_spark_faster_when_in_memory(self):
+        graph, algorithm, _, iters = pagerank_world(n=200)
+        cluster, dfs = fresh_cluster()
+        plain = PlainMRDriver(cluster, dfs).run(algorithm, graph, max_iterations=iters)
+        cluster, dfs = fresh_cluster()
+        spark_driver = SparkLikeDriver(cluster, dfs)
+        spark = spark_driver.run(algorithm, graph, max_iterations=iters)
+        assert spark_driver.last_stats.spill_fraction == 0.0
+        assert spark.total_time < plain.total_time
+
+    def test_spark_degrades_under_memory_pressure(self):
+        graph, algorithm, _, iters = pagerank_world(n=300)
+        roomy, dfs1 = fresh_cluster()
+        fast = SparkLikeDriver(roomy, dfs1).run(algorithm, graph, max_iterations=iters)
+
+        tight, dfs2 = fresh_cluster(worker_memory=2 * 1024)
+        driver = SparkLikeDriver(tight, dfs2)
+        slow = driver.run(algorithm, graph, max_iterations=iters)
+        assert driver.last_stats.spill_fraction > 0
+        assert slow.total_time > fast.total_time
+
+    def test_epsilon_supported_by_drivers(self):
+        graph, algorithm, _, _ = pagerank_world(n=100)
+        cluster, dfs = fresh_cluster()
+        result = PlainMRDriver(cluster, dfs).run(
+            algorithm, graph, max_iterations=100, epsilon=1e-6
+        )
+        assert result.converged
+        assert result.iterations < 100
+
+
+class TokenMapper(Mapper):
+    def map(self, key, text, ctx):
+        for word in text.split():
+            ctx.emit(word, 1)
+
+
+class TestIncoop:
+    def _conf(self):
+        return JobConf(name="wc", mapper=TokenMapper, reducer=SumReducer,
+                       inputs=["/in"], output="/out", num_reducers=3)
+
+    def test_initial_run_correct(self):
+        cluster, dfs = fresh_cluster()
+        dfs.write("/in", [(i, "a b a") for i in range(50)])
+        engine = IncoopEngine(cluster, dfs, chunk_records=8)
+        result, memo = engine.run_memoized(self._conf())
+        assert dict(dfs.read_all("/out")) == {"a": 100, "b": 50}
+
+    def test_unchanged_input_reuses_everything(self):
+        cluster, dfs = fresh_cluster()
+        dfs.write("/in", [(i, "a b") for i in range(64)])
+        engine = IncoopEngine(cluster, dfs, chunk_records=8)
+        _, memo = engine.run_memoized(self._conf())
+        result, _ = engine.run_memoized(self._conf(), memo)
+        counters = result.metrics.counters
+        assert counters.get("map_tasks_executed") == 0
+        assert counters.get("map_tasks_reused") > 0
+        assert counters.get("reduce_tasks_reused") == 3
+
+    def test_append_only_delta_reuses_most(self):
+        cluster, dfs = fresh_cluster()
+        records = [(i, "a b") for i in range(128)]
+        dfs.write("/in", records)
+        engine = IncoopEngine(cluster, dfs, chunk_records=8)
+        _, memo = engine.run_memoized(self._conf())
+        dfs.write("/in", records + [(200, "c d")], overwrite=True)
+        result, _ = engine.run_memoized(self._conf(), memo)
+        counters = result.metrics.counters
+        assert counters.get("map_tasks_reused") > counters.get("map_tasks_executed")
+        assert dict(dfs.read_all("/out"))["c"] == 1
+
+    def test_scattered_updates_defeat_reuse(self):
+        cluster, dfs = fresh_cluster()
+        records = [(i, "a b") for i in range(128)]
+        dfs.write("/in", records)
+        engine = IncoopEngine(cluster, dfs, chunk_records=8)
+        _, memo = engine.run_memoized(self._conf())
+        # Touch every 8th record: nearly every chunk fingerprint changes.
+        updated = [(i, "a b x" if i % 8 == 0 else "a b") for i in range(128)]
+        dfs.write("/in", updated, overwrite=True)
+        result, _ = engine.run_memoized(self._conf(), memo)
+        counters = result.metrics.counters
+        assert counters.get("map_tasks_executed") > counters.get("map_tasks_reused")
+
+    def test_results_always_match_scratch(self):
+        cluster, dfs = fresh_cluster()
+        dfs.write("/in", [(i, f"w{i % 7} w{i % 3}") for i in range(100)])
+        engine = IncoopEngine(cluster, dfs, chunk_records=16)
+        _, memo = engine.run_memoized(self._conf())
+        updated = [(i, f"w{i % 5} w{i % 3}") for i in range(100)]
+        dfs.write("/in", updated, overwrite=True)
+        engine.run_memoized(self._conf(), memo)
+        incoop_out = dict(dfs.read_all("/out"))
+
+        from repro.mapreduce.engine import MapReduceEngine
+
+        cluster2, dfs2 = fresh_cluster()
+        dfs2.write("/in", updated)
+        MapReduceEngine(cluster2, dfs2).run(self._conf())
+        assert incoop_out == dict(dfs2.read_all("/out"))
+
+
+class TestContentChunking:
+    def test_covers_all_records(self):
+        records = [(i, f"text-{i}") for i in range(100)]
+        chunks = content_defined_chunks(records, target_records=10)
+        flat = [r for chunk in chunks for r in chunk]
+        assert flat == records
+
+    def test_stable_under_append(self):
+        records = [(i, f"text-{i}") for i in range(100)]
+        before = content_defined_chunks(records, target_records=10)
+        after = content_defined_chunks(records + [(999, "new")], target_records=10)
+        # All but the final chunk are byte-identical.
+        assert before[:-1] == after[: len(before) - 1]
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            content_defined_chunks([], target_records=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=200))
+    @settings(max_examples=50)
+    def test_chunking_partitions_input(self, keys):
+        records = [(k, k) for k in keys]
+        chunks = content_defined_chunks(records, target_records=16)
+        assert [r for c in chunks for r in c] == records
+        assert all(len(c) <= 64 for c in chunks)  # hard cap 4x target

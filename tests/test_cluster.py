@@ -1,0 +1,49 @@
+"""Unit tests for the Cluster container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CostModel
+from repro.cluster.scheduler import TaskSpec
+
+
+class TestCluster:
+    def test_workers_enumerated(self):
+        cluster = Cluster(num_workers=5)
+        assert cluster.workers == [0, 1, 2, 3, 4]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Cluster(num_workers=0)
+
+    def test_replica_choice_distinct_and_bounded(self):
+        cluster = Cluster(num_workers=3, seed=1)
+        for _ in range(20):
+            replicas = cluster.pick_replica_workers(5)
+            assert len(replicas) == 3  # capped at cluster size
+            assert len(set(replicas)) == 3
+
+    def test_seeded_rng_reproducible(self):
+        a = Cluster(num_workers=8, seed=11).fresh_rng(1).randint(0, 1000, 5)
+        b = Cluster(num_workers=8, seed=11).fresh_rng(1).randint(0, 1000, 5)
+        assert list(a) == list(b)
+
+    def test_fresh_rng_salt_independent(self):
+        cluster = Cluster(num_workers=8, seed=11)
+        a = cluster.fresh_rng(1).randint(0, 10**6)
+        b = cluster.fresh_rng(2).randint(0, 10**6)
+        assert a != b
+
+    def test_run_tasks_includes_overhead(self):
+        cost = CostModel(task_overhead_s=1.0)
+        cluster = Cluster(num_workers=2, cost_model=cost)
+        result = cluster.run_tasks([TaskSpec("t", 2.0)])
+        assert result.elapsed_s == pytest.approx(3.0)
+        bare = cluster.run_tasks([TaskSpec("t", 2.0)], include_task_overhead=False)
+        assert bare.elapsed_s == pytest.approx(2.0)
+
+    def test_custom_cost_model_attached(self):
+        cost = CostModel(net_bw=1.0)
+        assert Cluster(num_workers=2, cost_model=cost).cost_model.net_bw == 1.0

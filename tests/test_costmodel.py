@@ -1,0 +1,97 @@
+"""Tests for the cost model, including data-scale calibration semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.costmodel import CostModel, zero_overhead_model
+
+
+class TestBasicCharges:
+    def test_disk_read_includes_seek(self):
+        cost = CostModel()
+        assert cost.disk_read_time(0) == pytest.approx(cost.disk_seek_s)
+        assert cost.disk_read_time(1200) > cost.disk_read_time(0)
+
+    def test_multi_seek(self):
+        cost = CostModel()
+        assert cost.disk_read_time(0, seeks=3) == pytest.approx(3 * cost.disk_seek_s)
+
+    def test_write_slower_than_read(self):
+        cost = CostModel()
+        nbytes = 10**8
+        assert cost.disk_write_time(nbytes) > cost.disk_read_time(nbytes)
+
+    def test_net_latency_per_transfer(self):
+        cost = CostModel()
+        assert cost.net_time(0, transfers=5) == pytest.approx(5 * cost.net_latency_s)
+
+    def test_cpu_weight_scales(self):
+        cost = CostModel()
+        assert cost.cpu_time(100, weight=2.0) == pytest.approx(2 * cost.cpu_time(100))
+
+    def test_sort_time_zero_for_trivial(self):
+        cost = CostModel()
+        assert cost.sort_time(0) == 0.0
+        assert cost.sort_time(1) == 0.0
+        assert cost.sort_time(100) > 0.0
+
+    def test_sort_superlinear(self):
+        cost = CostModel()
+        assert cost.sort_time(2000) > 2 * cost.sort_time(1000)
+
+
+class TestDataScale:
+    def test_volume_charges_scale(self):
+        base = CostModel()
+        scaled = CostModel(data_scale=100.0)
+        nbytes = 10**6
+        # Bytes, CPU, parse and sort all inflate by the factor...
+        assert scaled.parse_time(nbytes) == pytest.approx(100 * base.parse_time(nbytes))
+        assert scaled.cpu_time(500) == pytest.approx(100 * base.cpu_time(500))
+        assert scaled.sort_time(500) == pytest.approx(100 * base.sort_time(500))
+
+    def test_fixed_costs_do_not_scale(self):
+        base = CostModel()
+        scaled = CostModel(data_scale=100.0)
+        # ...while per-operation costs stay put.
+        assert scaled.disk_read_time(0) == pytest.approx(base.disk_read_time(0))
+        assert scaled.net_time(0) == pytest.approx(base.net_time(0))
+        assert scaled.job_startup_s == base.job_startup_s
+
+    def test_unscaled_view(self):
+        scaled = CostModel(data_scale=50.0)
+        unscaled = scaled.unscaled()
+        assert unscaled.data_scale == 1.0
+        assert unscaled.disk_read_bw == scaled.disk_read_bw
+
+    def test_unscaled_is_identity_at_one(self):
+        base = CostModel()
+        assert base.unscaled() is base
+
+
+class TestStoreCharges:
+    def test_store_read_cheaper_than_random_seek(self):
+        cost = CostModel()
+        assert cost.store_read_time(0) < cost.disk_read_time(0)
+
+    def test_store_charges_never_data_scaled(self):
+        base = CostModel()
+        scaled = CostModel(data_scale=1000.0)
+        assert scaled.store_read_time(10**6) == pytest.approx(
+            base.store_read_time(10**6)
+        )
+
+
+class TestOverrides:
+    def test_scaled_returns_new_instance(self):
+        cost = CostModel()
+        faster = cost.scaled(net_bw=1e9)
+        assert faster.net_bw == 1e9
+        assert cost.net_bw != 1e9
+
+    def test_zero_overhead_model(self):
+        cost = zero_overhead_model()
+        assert cost.job_startup_s == 0.0
+        assert cost.disk_read_time(0) == 0.0
+        assert cost.net_time(0) == 0.0

@@ -1,0 +1,103 @@
+"""Tests for change propagation control (§5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inciter.cpc import ChangePropagationControl
+
+
+class TestDisabled:
+    def test_none_threshold_propagates_any_change(self):
+        cpc = ChangePropagationControl(None)
+        assert not cpc.enabled
+        assert cpc.offer("k", 1e-12)
+        assert not cpc.offer("k", 0.0)
+
+
+class TestFiltering:
+    def test_below_threshold_filtered(self):
+        cpc = ChangePropagationControl(1.0)
+        assert not cpc.offer("k", 0.4)
+
+    def test_at_threshold_propagates(self):
+        cpc = ChangePropagationControl(1.0)
+        assert cpc.offer("k", 1.0)
+
+    def test_accumulation_across_offers(self):
+        # "It is possible a filtered kv-pair may later be emitted if its
+        # accumulated change is big enough."
+        cpc = ChangePropagationControl(1.0)
+        assert not cpc.offer("k", 0.4)
+        assert not cpc.offer("k", 0.4)
+        assert cpc.offer("k", 0.4)  # accumulated 1.2 >= 1.0
+
+    def test_accumulator_resets_on_emission(self):
+        cpc = ChangePropagationControl(1.0)
+        cpc.offer("k", 0.6)
+        assert cpc.offer("k", 0.6)
+        assert cpc.pending("k") == 0.0
+        assert not cpc.offer("k", 0.6)
+
+    def test_keys_independent(self):
+        cpc = ChangePropagationControl(1.0)
+        cpc.offer("a", 0.9)
+        assert not cpc.offer("b", 0.9)
+        assert cpc.offer("a", 0.2)
+
+    def test_zero_threshold_filters_only_unchanged(self):
+        # The paper's SSSP setting: FT=0 keeps results precise.
+        cpc = ChangePropagationControl(0.0)
+        assert cpc.offer("k", 1e-15)
+        assert not cpc.offer("k", 0.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ChangePropagationControl(-0.1)
+
+
+class TestBookkeeping:
+    def test_pending_tracks_accumulation(self):
+        cpc = ChangePropagationControl(10.0)
+        cpc.offer("k", 3.0)
+        cpc.offer("k", 4.0)
+        assert cpc.pending("k") == pytest.approx(7.0)
+        assert cpc.num_pending() == 1
+
+    def test_clear(self):
+        cpc = ChangePropagationControl(10.0)
+        cpc.offer("k", 3.0)
+        cpc.clear()
+        assert cpc.num_pending() == 0
+        assert cpc.pending("k") == 0.0
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=40),
+    )
+    @settings(max_examples=100)
+    def test_total_emitted_bounded_by_total_change(self, threshold, diffs):
+        """Between emissions the accumulated-but-unemitted change never
+        reaches the threshold, and emission only happens when the running
+        total did."""
+        cpc = ChangePropagationControl(threshold)
+        running = 0.0
+        for diff in diffs:
+            running += diff
+            if cpc.offer("k", diff):
+                assert running >= threshold
+                running = 0.0
+            else:
+                assert running < threshold or running == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=30))
+    @settings(max_examples=50)
+    def test_disabled_cpc_is_memoryless(self, diffs):
+        cpc = ChangePropagationControl(None)
+        for diff in diffs:
+            assert cpc.offer("k", diff) == (diff > 0.0)
+        assert cpc.num_pending() == 0

@@ -1,0 +1,238 @@
+"""Tests for the synthetic dataset generators and delta mutators.
+
+The load-bearing invariant: applying a delta's records to the old dataset
+must produce exactly the delta's ``new_*`` dataset — the incremental
+engines rely on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.kvpair import Op
+from repro.datasets.graphs import (
+    mutate_web_graph,
+    mutate_weighted_graph,
+    powerlaw_web_graph,
+    weighted_graph_from,
+)
+from repro.datasets.matrices import block_matrix, mutate_matrix
+from repro.datasets.points import gaussian_points, mutate_points
+from repro.datasets.text import new_tweets, zipf_tweets
+
+
+def apply_delta_to_dict(base: dict, records, value_unwrap=None) -> dict:
+    """Replay +/- records over a dict (the engines' view of a delta)."""
+    out = dict(base)
+    for rec in records:
+        if rec.op is Op.DELETE:
+            assert rec.key in out, f"deleting missing key {rec.key}"
+            del out[rec.key]
+        else:
+            out[rec.key] = rec.value
+    return out
+
+
+class TestWebGraph:
+    def test_deterministic(self):
+        a = powerlaw_web_graph(100, 5, seed=3)
+        b = powerlaw_web_graph(100, 5, seed=3)
+        assert a.out_links == b.out_links
+
+    def test_different_seeds_differ(self):
+        a = powerlaw_web_graph(100, 5, seed=3)
+        b = powerlaw_web_graph(100, 5, seed=4)
+        assert a.out_links != b.out_links
+
+    def test_size_and_targets_valid(self):
+        graph = powerlaw_web_graph(200, 6, seed=1)
+        assert graph.num_vertices == 200
+        for v, links in graph.out_links.items():
+            assert v not in links  # no self loops
+            assert all(0 <= j < 200 for j in links)
+
+    def test_skewed_in_degree(self):
+        graph = powerlaw_web_graph(500, 8, seed=1)
+        in_deg = {}
+        for links in graph.out_links.values():
+            for j in links:
+                in_deg[j] = in_deg.get(j, 0) + 1
+        degrees = sorted(in_deg.values(), reverse=True)
+        # Hubs: the top vertex collects far more than the median.
+        assert degrees[0] > 10 * max(1, degrees[len(degrees) // 2])
+
+    def test_payload_attached(self):
+        graph = powerlaw_web_graph(50, 4, seed=1, payload_bytes=64)
+        links, payload = graph.value_of(0)
+        assert len(payload) == 64
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            powerlaw_web_graph(1)
+
+
+class TestWebGraphDelta:
+    def test_delta_replays_to_new_graph(self):
+        graph = powerlaw_web_graph(150, 5, seed=2, payload_bytes=16)
+        delta = mutate_web_graph(graph, 0.2, seed=9)
+        base = {v: graph.value_of(v) for v in graph.out_links}
+        replayed = apply_delta_to_dict(base, delta.records)
+        expected = {
+            v: delta.new_graph.value_of(v) for v in delta.new_graph.out_links
+        }
+        assert replayed == expected
+
+    def test_change_volume_tracks_fraction(self):
+        graph = powerlaw_web_graph(400, 5, seed=2)
+        small = mutate_web_graph(graph, 0.01, seed=3)
+        large = mutate_web_graph(graph, 0.3, seed=3)
+        assert small.num_changed_records < large.num_changed_records
+
+    def test_zero_fraction_no_change(self):
+        graph = powerlaw_web_graph(100, 5, seed=2)
+        delta = mutate_web_graph(graph, 0.0, seed=3)
+        assert delta.records == []
+        assert delta.new_graph.out_links == graph.out_links
+
+    def test_no_dangling_links_after_deletion(self):
+        graph = powerlaw_web_graph(300, 6, seed=5)
+        delta = mutate_web_graph(graph, 0.3, seed=6)
+        alive = set(delta.new_graph.out_links)
+        for v, links in delta.new_graph.out_links.items():
+            for j in links:
+                assert j in alive, f"dangling link {v}->{j}"
+
+    def test_invalid_fraction(self):
+        graph = powerlaw_web_graph(50, 4, seed=1)
+        with pytest.raises(ValueError):
+            mutate_web_graph(graph, 1.5)
+
+    @given(st.floats(min_value=0.0, max_value=0.5), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_replay_property(self, fraction, seed):
+        graph = powerlaw_web_graph(80, 4, seed=1)
+        delta = mutate_web_graph(graph, fraction, seed=seed)
+        base = {v: graph.value_of(v) for v in graph.out_links}
+        replayed = apply_delta_to_dict(base, delta.records)
+        expected = {
+            v: delta.new_graph.value_of(v) for v in delta.new_graph.out_links
+        }
+        assert replayed == expected
+
+
+class TestWeightedGraph:
+    def test_weights_positive(self):
+        graph = weighted_graph_from(powerlaw_web_graph(100, 5, seed=2), seed=3)
+        for links in graph.out_links.values():
+            assert all(w > 0 for _, w in links)
+
+    def test_topology_preserved(self):
+        base = powerlaw_web_graph(100, 5, seed=2)
+        graph = weighted_graph_from(base, seed=3)
+        for v in base.out_links:
+            assert tuple(j for j, _ in graph.out_links[v]) == base.out_links[v]
+
+    def test_delta_replays(self):
+        base = powerlaw_web_graph(120, 5, seed=2)
+        graph = weighted_graph_from(base, seed=3)
+        delta = mutate_weighted_graph(graph, 0.2, seed=4)
+        old = {v: graph.value_of(v) for v in graph.out_links}
+        replayed = apply_delta_to_dict(old, delta.records)
+        expected = {
+            v: delta.new_graph.value_of(v) for v in delta.new_graph.out_links
+        }
+        assert replayed == expected
+
+
+class TestPoints:
+    def test_deterministic(self):
+        a = gaussian_points(100, dim=4, k=4, seed=2)
+        b = gaussian_points(100, dim=4, k=4, seed=2)
+        assert a.points == b.points
+        assert a.initial_centroids == b.initial_centroids
+
+    def test_centroids_are_points(self):
+        ds = gaussian_points(100, dim=4, k=4, seed=2)
+        assert len(ds.initial_centroids) == 4
+        point_values = set(ds.points.values())
+        for _, cval in ds.initial_centroids:
+            assert cval in point_values
+
+    def test_delta_replays(self):
+        ds = gaussian_points(150, dim=3, k=3, seed=2)
+        delta = mutate_points(ds, 0.2, seed=5)
+        replayed = apply_delta_to_dict(dict(ds.points), delta.records)
+        assert replayed == delta.new_dataset.points
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_points(3, dim=2, k=8)
+
+
+class TestMatrices:
+    def test_deterministic(self):
+        a = block_matrix(4, 16, 0.05, seed=1)
+        b = block_matrix(4, 16, 0.05, seed=1)
+        assert a.blocks == b.blocks
+
+    def test_block_coordinates_in_range(self):
+        ds = block_matrix(4, 16, 0.05, seed=1)
+        for (bi, bj), triples in ds.blocks.items():
+            assert 0 <= bi < 4 and 0 <= bj < 4
+            for r, c, v in triples:
+                assert 0 <= r < 16 and 0 <= c < 16
+
+    def test_column_normalized(self):
+        ds = block_matrix(3, 20, 0.2, seed=1)
+        col_sums = {}
+        for (bi, bj), triples in ds.blocks.items():
+            for r, c, v in triples:
+                col_sums[bj * 20 + c] = col_sums.get(bj * 20 + c, 0.0) + v
+        # Occupied columns sum to ~1 (normalization keeps GIM-V bounded).
+        assert all(0.9 < s < 1.1 for s in col_sums.values())
+
+    def test_delta_replays(self):
+        ds = block_matrix(4, 16, 0.08, seed=1)
+        delta = mutate_matrix(ds, 0.25, seed=2)
+        replayed = apply_delta_to_dict(dict(ds.blocks), delta.records)
+        assert replayed == delta.new_dataset.blocks
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_matrix(0, 16)
+        with pytest.raises(ValueError):
+            block_matrix(4, 16, density=0.0)
+
+
+class TestTweets:
+    def test_deterministic(self):
+        a = zipf_tweets(100, seed=4)
+        b = zipf_tweets(100, seed=4)
+        assert a.tweets == b.tweets
+        assert a.candidate_pairs == b.candidate_pairs
+
+    def test_zipf_head_dominates(self):
+        ds = zipf_tweets(2000, vocab_size=300, seed=4)
+        counts = {}
+        for text in ds.tweets.values():
+            for word in text.split():
+                counts[word] = counts.get(word, 0) + 1
+        top = max(counts.values())
+        assert top > 20 * (sum(counts.values()) / len(counts))
+
+    def test_delta_is_insert_only(self):
+        ds = zipf_tweets(200, seed=4)
+        delta = new_tweets(ds, 0.1, seed=5)
+        assert all(rec.op is Op.INSERT for rec in delta.records)
+        assert len(delta.records) == 20
+        replayed = apply_delta_to_dict(dict(ds.tweets), delta.records)
+        assert replayed == delta.new_dataset.tweets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_tweets(0)
+        with pytest.raises(ValueError):
+            new_tweets(zipf_tweets(10, seed=1), -0.1)

@@ -1,0 +1,107 @@
+"""Tests for the block-structured distributed file system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.common.errors import FileAlreadyExists, FileNotFoundInDFS
+from repro.common.sizeof import records_size
+from repro.dfs.filesystem import DistributedFS
+
+
+@pytest.fixture
+def tiny_dfs():
+    cluster = Cluster(num_workers=4, seed=1)
+    return DistributedFS(cluster, block_size=256, replication=2)
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tiny_dfs):
+        records = [(i, f"value-{i}") for i in range(20)]
+        tiny_dfs.write("/f", records)
+        assert tiny_dfs.read_all("/f") == records
+
+    def test_splits_into_blocks(self, tiny_dfs):
+        records = [(i, "x" * 50) for i in range(40)]
+        f = tiny_dfs.write("/f", records)
+        assert len(f.blocks) > 1
+        assert f.num_records == 40
+        assert sum(b.num_records for b in f.blocks) == 40
+
+    def test_block_sizes_match_estimator(self, tiny_dfs):
+        records = [(i, "x" * 30) for i in range(10)]
+        f = tiny_dfs.write("/f", records)
+        assert f.size_bytes == records_size(records)
+
+    def test_empty_file_has_one_block(self, tiny_dfs):
+        f = tiny_dfs.write("/empty", [])
+        assert len(f.blocks) == 1
+        assert f.num_records == 0
+
+    def test_overwrite_flag(self, tiny_dfs):
+        tiny_dfs.write("/f", [(1, "a")])
+        with pytest.raises(FileAlreadyExists):
+            tiny_dfs.write("/f", [(2, "b")])
+        tiny_dfs.write("/f", [(2, "b")], overwrite=True)
+        assert tiny_dfs.read_all("/f") == [(2, "b")]
+
+
+class TestPlacement:
+    def test_replication_bounded_by_workers(self, tiny_dfs):
+        f = tiny_dfs.write("/f", [(i, i) for i in range(50)])
+        for block in f.blocks:
+            assert len(block.locations) == 2
+            assert len(set(block.locations)) == 2
+            assert all(0 <= w < 4 for w in block.locations)
+
+    def test_placement_deterministic_per_seed(self):
+        def locations(seed):
+            cluster = Cluster(num_workers=4, seed=seed)
+            dfs = DistributedFS(cluster, block_size=256)
+            f = dfs.write("/f", [(i, "x" * 40) for i in range(30)])
+            return [tuple(b.locations) for b in f.blocks]
+
+        assert locations(5) == locations(5)
+
+
+class TestNamespace:
+    def test_missing_file_raises(self, tiny_dfs):
+        with pytest.raises(FileNotFoundInDFS):
+            tiny_dfs.file("/nope")
+
+    def test_exists(self, tiny_dfs):
+        assert not tiny_dfs.exists("/f")
+        tiny_dfs.write("/f", [(1, 1)])
+        assert tiny_dfs.exists("/f")
+
+    def test_delete(self, tiny_dfs):
+        tiny_dfs.write("/f", [(1, 1)])
+        tiny_dfs.delete("/f")
+        assert not tiny_dfs.exists("/f")
+        with pytest.raises(FileNotFoundInDFS):
+            tiny_dfs.delete("/f")
+
+    def test_ls_prefix(self, tiny_dfs):
+        tiny_dfs.write("/a/1", [(1, 1)])
+        tiny_dfs.write("/a/2", [(1, 1)])
+        tiny_dfs.write("/b/1", [(1, 1)])
+        assert tiny_dfs.ls("/a") == ["/a/1", "/a/2"]
+        assert len(tiny_dfs.ls()) == 3
+
+    def test_size(self, tiny_dfs):
+        records = [(1, "hello")]
+        tiny_dfs.write("/f", records)
+        assert tiny_dfs.size("/f") == records_size(records)
+
+
+class TestValidation:
+    def test_bad_block_size(self):
+        cluster = Cluster(num_workers=2)
+        with pytest.raises(ValueError):
+            DistributedFS(cluster, block_size=0)
+
+    def test_bad_replication(self):
+        cluster = Cluster(num_workers=2)
+        with pytest.raises(ValueError):
+            DistributedFS(cluster, replication=0)

@@ -1,0 +1,108 @@
+"""Tests for the connected-components GIM-V instantiation (HCC)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.gimv_cc import GIMVConnectedComponents
+from repro.datasets.matrices import BlockMatrixDataset, block_matrix, mutate_matrix
+from repro.inciter.engine import I2MREngine, I2MROptions
+from repro.iterative.api import Dependency, IterativeJob
+from repro.iterative.engine import IterMREngine
+
+from tests.conftest import fresh_cluster
+
+
+def tiny_matrix():
+    """Two 2x2 blocks: vertices {0,1,2,3}; edges 0-1 and 2-3."""
+    blocks = {
+        (0, 0): ((0, 1, 1.0),),   # edge 0-1
+        (1, 1): ((0, 1, 1.0),),   # edge 2-3
+    }
+    vector = {0: (1.0, 1.0), 1: (1.0, 1.0)}
+    return BlockMatrixDataset(blocks=blocks, initial_vector=vector,
+                              num_blocks=2, block_size=2)
+
+
+class TestUnits:
+    def test_combine2_takes_min_reachable(self):
+        cc = GIMVConnectedComponents(block_size=2)
+        block = ((0, 1, 1.0),)
+        assert cc.combine2(block, (5.0, 3.0)) == (3.0, float("inf"))
+
+    def test_reduce_includes_self_id(self):
+        cc = GIMVConnectedComponents(block_size=2)
+        # Block row 1 covers vertices 2 and 3.
+        assert cc.reduce_instance(1, [(9.0, 1.0)]) == (2.0, 1.0)
+
+    def test_dependency_type(self):
+        assert GIMVConnectedComponents().dependency is Dependency.MANY_TO_ONE
+
+    def test_difference_counts_changed_labels(self):
+        cc = GIMVConnectedComponents(block_size=3)
+        assert cc.difference((1.0, 2.0, 3.0), (1.0, 9.0, 9.0)) == 2.0
+
+    def test_structure_symmetrized_with_diagonals(self):
+        ds = tiny_matrix()
+        cc = GIMVConnectedComponents(block_size=2)
+        keys = [sk for sk, _ in cc.structure_records(ds)]
+        assert (0, 0) in keys and (1, 1) in keys
+
+
+class TestEndToEnd:
+    def test_two_components(self):
+        ds = tiny_matrix()
+        cc = GIMVConnectedComponents(block_size=2)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(cc, ds, num_partitions=2, max_iterations=10,
+                         epsilon=0.0)
+        )
+        assert result.state[0] == (0.0, 0.0)   # component {0, 1}
+        assert result.state[1] == (2.0, 2.0)   # component {2, 3}
+
+    def test_matches_union_find_reference(self):
+        matrix = block_matrix(num_blocks=4, block_size=10, density=0.03, seed=12)
+        cc = GIMVConnectedComponents(block_size=10)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(cc, matrix, num_partitions=4, max_iterations=60,
+                         epsilon=0.0)
+        )
+        assert result.converged
+        assert result.state == cc.reference(matrix, 0)
+
+    def test_incremental_edge_insertion_merges_components(self):
+        matrix = block_matrix(num_blocks=4, block_size=8, density=0.03, seed=3)
+        cc = GIMVConnectedComponents(block_size=8)
+        cluster, dfs = fresh_cluster()
+        engine = I2MREngine(cluster, dfs)
+        job = IterativeJob(cc, matrix, num_partitions=4, max_iterations=60,
+                           epsilon=0.0)
+        _, preserved = engine.run_initial(job)
+
+        delta = mutate_matrix(matrix, 0.2, seed=4)
+        result = engine.run_incremental(
+            job, _cc_delta(cc, matrix, delta.new_dataset), preserved,
+            I2MROptions(filter_threshold=0.0, max_iterations=80),
+        )
+        assert result.state == cc.reference(delta.new_dataset, 0)
+        preserved.cleanup()
+
+
+def _cc_delta(cc, old_dataset, new_dataset):
+    """Delta of the *symmetrized* structure records between two matrices."""
+    from repro.common.kvpair import delete, insert
+
+    old = dict(cc.structure_records(old_dataset))
+    new = dict(cc.structure_records(new_dataset))
+    records = []
+    for key in sorted(set(old) | set(new)):
+        if key in old and key not in new:
+            records.append(delete(key, old[key]))
+        elif key in new and key not in old:
+            records.append(insert(key, new[key]))
+        elif old[key] != new[key]:
+            records.append(delete(key, old[key]))
+            records.append(insert(key, new[key]))
+    return records

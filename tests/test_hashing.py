@@ -1,0 +1,84 @@
+"""Tests for stable hashing, partitioning and Map-instance identity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import map_key, partition_for, stable_hash
+
+_keys = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.tuples(st.integers(), st.text(max_size=6)),
+)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("hello") == stable_hash("hello")
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+
+    def test_known_types(self):
+        for key in [None, True, 0, -5, 3.14, "x", b"x", (1, 2), [1, 2]]:
+            assert isinstance(stable_hash(key), int)
+
+    def test_distinct_inputs_usually_differ(self):
+        hashes = {stable_hash(i) for i in range(10_000)}
+        assert len(hashes) == 10_000
+
+    def test_fits_signed_int64(self):
+        for key in range(1000):
+            assert 0 <= stable_hash(key) < 2**63
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash({"a": 1})
+
+    @given(_keys)
+    @settings(max_examples=200)
+    def test_hash_in_range_property(self, key):
+        assert 0 <= stable_hash(key) < 2**63
+
+
+class TestPartitionFor:
+    def test_in_range(self):
+        for key in range(100):
+            assert 0 <= partition_for(key, 7) < 7
+
+    def test_reasonably_balanced(self):
+        counts = [0] * 8
+        for key in range(8000):
+            counts[partition_for(key, 8)] += 1
+        assert min(counts) > 500  # perfect balance would be 1000
+
+    def test_string_keys_balanced(self):
+        counts = [0] * 4
+        for i in range(4000):
+            counts[partition_for(f"word-{i}", 4)] += 1
+        assert min(counts) > 700
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            partition_for("k", 0)
+
+
+class TestMapKey:
+    def test_same_record_same_mk(self):
+        assert map_key(1, (2, 3)) == map_key(1, (2, 3))
+
+    def test_different_value_different_mk(self):
+        assert map_key(1, (2, 3)) != map_key(1, (2, 4))
+
+    def test_dup_index_distinguishes(self):
+        assert map_key(1, "v", 0) != map_key(1, "v", 1)
+
+    def test_mk_fits_serializable_range(self):
+        from repro.common.serialization import encode
+
+        encode(map_key("key", ("value", 1.5)))  # must not raise

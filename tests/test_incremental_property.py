@@ -1,0 +1,88 @@
+"""Property test of the paper's §3.1 theorem: for *any* base input and
+*any* delta, incremental processing is logically equivalent to full
+recomputation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.kvpair import delete, insert
+from repro.incremental.api import delta_to_dfs_records
+from repro.incremental.engine import IncrMREngine
+from repro.mapreduce.api import Mapper, Reducer
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import JobConf
+
+from tests.conftest import fresh_cluster
+
+
+class FanoutMapper(Mapper):
+    """Emits one edge per (target, weight) entry — the Fig 3 shape."""
+
+    def map(self, key, value, ctx):
+        for target, weight in value:
+            ctx.emit(target, weight)
+
+
+class SortedSumReducer(Reducer):
+    """Order-insensitive aggregate so float association cannot differ."""
+
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, (round(sum(sorted(values)), 6), len(values)))
+
+
+# Base inputs: small adjacency maps with integer weights (exact floats).
+_links = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=9),
+              st.integers(min_value=1, max_value=8)),
+    max_size=4,
+).map(tuple)
+_graphs = st.dictionaries(st.integers(min_value=0, max_value=14), _links,
+                          min_size=1, max_size=12)
+# Delta scripts: per touched key, delete / insert / rewrite.
+_actions = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=19),
+              st.sampled_from(["delete", "insert", "rewrite"]),
+              _links),
+    max_size=8,
+)
+
+
+class TestSection31Equivalence:
+    @given(_graphs, _actions)
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_equals_recompute(self, graph, actions):
+        # Build a well-formed delta from the action script.
+        current = dict(graph)
+        records = []
+        for key, action, links in actions:
+            if action == "delete" and key in current:
+                records.append(delete(key, current.pop(key)))
+            elif action == "insert" and key not in current:
+                records.append(insert(key, links))
+                current[key] = links
+            elif action == "rewrite" and key in current and current[key] != links:
+                records.append(delete(key, current[key]))
+                records.append(insert(key, links))
+                current[key] = links
+
+        conf = JobConf(name="fanout", mapper=FanoutMapper,
+                       reducer=SortedSumReducer, inputs=["/in"],
+                       output="/out", num_reducers=3)
+
+        cluster, dfs = fresh_cluster()
+        dfs.write("/in", sorted(graph.items()))
+        engine = IncrMREngine(cluster, dfs)
+        _, state = engine.run_initial(conf)
+        dfs.write("/delta", delta_to_dfs_records(records))
+        engine.run_incremental(conf, "/delta", state)
+        incremental = dict(dfs.read_all("/out"))
+        state.cleanup()
+
+        cluster2, dfs2 = fresh_cluster()
+        dfs2.write("/in", sorted(current.items()))
+        MapReduceEngine(cluster2, dfs2).run(conf)
+        scratch = dict(dfs2.read_all("/out"))
+
+        assert incremental == scratch

@@ -1,0 +1,114 @@
+"""End-to-end integration: a multi-generation evolving pipeline where all
+execution systems must stay in agreement with the exact reference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.baselines.haloop import HaLoopDriver
+from repro.baselines.plainmr import PlainMRDriver
+from repro.baselines.spark import SparkLikeDriver
+from repro.datasets.graphs import mutate_web_graph, powerlaw_web_graph
+from repro.inciter.engine import I2MREngine, I2MROptions
+from repro.iterative.api import IterativeJob
+from repro.iterative.engine import IterMREngine
+
+from tests.conftest import fresh_cluster
+
+
+class TestEvolvingPipeline:
+    """Three crawl generations; i2MapReduce's refreshed fixpoints must
+    track what every recomputation system produces from scratch."""
+
+    def test_three_generations_agree(self):
+        graph = powerlaw_web_graph(250, 5, seed=17)
+        algorithm = PageRank()
+
+        cluster, dfs = fresh_cluster(seed=17)
+        engine = I2MREngine(cluster, dfs)
+        job = IterativeJob(algorithm, graph, num_partitions=4,
+                           max_iterations=60, epsilon=1e-8)
+        _, preserved = engine.run_initial(job)
+
+        for generation in range(3):
+            delta = mutate_web_graph(graph, 0.08, seed=50 + generation)
+            graph = delta.new_graph
+            incr = engine.run_incremental(
+                IterativeJob(algorithm, graph, num_partitions=4,
+                             max_iterations=120),
+                delta.records,
+                preserved,
+                I2MROptions(filter_threshold=1e-11, max_iterations=120),
+            )
+            reference = algorithm.reference_from(graph, {}, 300)
+            assert set(incr.state) == set(reference)
+            worst = max(abs(incr.state[k] - reference[k]) for k in reference)
+            assert worst < 1e-3, f"generation {generation}: {worst}"
+
+        # Final generation cross-checked against every recomputation system.
+        for driver_cls in (PlainMRDriver, HaLoopDriver, SparkLikeDriver):
+            c2, d2 = fresh_cluster(seed=17)
+            recomp = driver_cls(c2, d2).run(
+                algorithm, graph, max_iterations=200, epsilon=1e-8
+            )
+            worst = max(
+                abs(incr.state[k] - recomp.state[k]) for k in recomp.state
+            )
+            assert worst < 1e-3, driver_cls.__name__
+        preserved.cleanup()
+
+    def test_itermr_recomputation_tracks_incremental(self):
+        graph = powerlaw_web_graph(200, 5, seed=23)
+        algorithm = PageRank()
+
+        cluster, dfs = fresh_cluster(seed=23)
+        engine = I2MREngine(cluster, dfs)
+        _, preserved = engine.run_initial(
+            IterativeJob(algorithm, graph, num_partitions=4,
+                         max_iterations=60, epsilon=1e-8)
+        )
+        delta = mutate_web_graph(graph, 0.05, seed=31)
+        incr = engine.run_incremental(
+            IterativeJob(algorithm, delta.new_graph, num_partitions=4,
+                         max_iterations=100),
+            delta.records,
+            preserved,
+            I2MROptions(filter_threshold=1e-11, max_iterations=100),
+        )
+
+        c2, d2 = fresh_cluster(seed=23)
+        itermr = IterMREngine(c2, d2).run(
+            IterativeJob(algorithm, delta.new_graph, num_partitions=4,
+                         max_iterations=150, epsilon=1e-8)
+        )
+        worst = max(abs(incr.state[k] - itermr.state[k]) for k in itermr.state)
+        assert worst < 1e-3
+        preserved.cleanup()
+
+    def test_incremental_is_cheaper_than_recomputation(self):
+        graph = powerlaw_web_graph(300, 6, seed=29, payload_bytes=100)
+        algorithm = PageRank()
+
+        cluster, dfs = fresh_cluster(seed=29)
+        engine = I2MREngine(cluster, dfs)
+        _, preserved = engine.run_initial(
+            IterativeJob(algorithm, graph, num_partitions=4,
+                         max_iterations=40, epsilon=1e-6)
+        )
+        delta = mutate_web_graph(graph, 0.05, seed=37)
+        incr = engine.run_incremental(
+            IterativeJob(algorithm, delta.new_graph, num_partitions=4,
+                         max_iterations=10),
+            delta.records,
+            preserved,
+            I2MROptions(filter_threshold=0.01, max_iterations=10),
+        )
+
+        c2, d2 = fresh_cluster(seed=29)
+        plain = PlainMRDriver(c2, d2).run(
+            algorithm, delta.new_graph,
+            initial_state=dict(preserved.state), max_iterations=10,
+        )
+        assert incr.total_time < plain.total_time
+        preserved.cleanup()

@@ -1,0 +1,186 @@
+"""Tests for the iterMR engine (§4): correctness against references,
+convergence, co-location savings, and the regrouping transformation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.gimv import GIMV
+from repro.algorithms.kmeans import Kmeans
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.common.errors import InvalidJobConf
+from repro.datasets.graphs import powerlaw_web_graph, weighted_graph_from
+from repro.datasets.matrices import block_matrix
+from repro.datasets.points import gaussian_points
+from repro.iterative.api import Dependency, IterativeJob, regroup_keys
+from repro.iterative.engine import IterMREngine
+
+from tests.conftest import fresh_cluster
+
+
+class TestPageRank:
+    def test_matches_reference(self):
+        graph = powerlaw_web_graph(300, 5, seed=4)
+        algorithm = PageRank()
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(algorithm, graph, num_partitions=4, max_iterations=6)
+        )
+        reference = algorithm.reference(graph, 6)
+        assert set(result.state) == set(reference)
+        assert max(abs(result.state[k] - reference[k]) for k in reference) < 1e-9
+
+    def test_epsilon_convergence(self):
+        graph = powerlaw_web_graph(200, 5, seed=4)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(PageRank(), graph, num_partitions=4,
+                         max_iterations=100, epsilon=1e-6)
+        )
+        assert result.converged
+        assert result.iterations < 100
+
+    def test_fixed_iterations_without_epsilon(self):
+        graph = powerlaw_web_graph(100, 4, seed=4)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(PageRank(), graph, num_partitions=4, max_iterations=3)
+        )
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_initial_state_override(self):
+        graph = powerlaw_web_graph(100, 4, seed=4)
+        algorithm = PageRank()
+        warm = algorithm.reference(graph, 200)  # essentially the fixpoint
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(algorithm, graph, num_partitions=4,
+                         max_iterations=50, epsilon=1e-6),
+            initial_state=warm,
+        )
+        # Warm start from the fixpoint converges almost immediately.
+        assert result.iterations <= 3
+
+    def test_per_iteration_stats(self):
+        graph = powerlaw_web_graph(100, 4, seed=4)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(PageRank(), graph, num_partitions=4, max_iterations=4)
+        )
+        assert len(result.per_iteration) == 4
+        for stats in result.per_iteration:
+            assert stats.times.total > 0
+            assert stats.total_difference >= 0
+
+    def test_job_startup_charged_once(self):
+        graph = powerlaw_web_graph(100, 4, seed=4)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(PageRank(), graph, num_partitions=4, max_iterations=5),
+            charge_preprocess=False,
+        )
+        assert result.metrics.times.startup == pytest.approx(
+            cluster.cost_model.job_startup_s
+        )
+
+
+class TestSSSP:
+    def test_matches_reference(self):
+        base = powerlaw_web_graph(250, 5, seed=9)
+        graph = weighted_graph_from(base, seed=1)
+        algorithm = SSSP(source=0)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(algorithm, graph, num_partitions=4, max_iterations=8)
+        )
+        reference = algorithm.reference(graph, 8)
+        for k, expected in reference.items():
+            assert result.state[k] == expected or (
+                abs(result.state[k] - expected) < 1e-9
+            )
+
+    def test_source_distance_zero(self):
+        base = powerlaw_web_graph(100, 4, seed=9)
+        graph = weighted_graph_from(base, seed=1)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(SSSP(source=0), graph, num_partitions=4, max_iterations=5)
+        )
+        assert result.state[0] == 0.0
+
+
+class TestKmeans:
+    def test_matches_reference(self):
+        points = gaussian_points(300, dim=4, k=4, seed=3)
+        algorithm = Kmeans(k=4, dim=4)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(algorithm, points, num_partitions=4, max_iterations=5)
+        )
+        reference = algorithm.reference(points, 5)
+        assert algorithm.difference(result.state[1], reference[1]) < 1e-9
+
+    def test_state_is_single_kv_pair(self):
+        points = gaussian_points(100, dim=3, k=3, seed=3)
+        algorithm = Kmeans(k=3, dim=3)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(algorithm, points, num_partitions=4, max_iterations=2)
+        )
+        assert list(result.state) == [1]
+        assert len(result.state[1]) == 3
+
+
+class TestGIMV:
+    def test_matches_reference(self):
+        matrix = block_matrix(num_blocks=6, block_size=12, density=0.06, seed=2)
+        algorithm = GIMV(block_size=12)
+        cluster, dfs = fresh_cluster()
+        result = IterMREngine(cluster, dfs).run(
+            IterativeJob(algorithm, matrix, num_partitions=4, max_iterations=5)
+        )
+        reference = algorithm.reference(matrix, 5)
+        worst = max(
+            max(abs(a - b) for a, b in zip(result.state[j], reference[j]))
+            for j in reference
+        )
+        assert worst < 1e-9
+
+    def test_many_to_one_dependency(self):
+        assert GIMV().dependency is Dependency.MANY_TO_ONE
+        assert GIMV().project((3, 7)) == 7
+
+
+class TestValidation:
+    def test_bad_partitions(self):
+        job = IterativeJob(PageRank(), powerlaw_web_graph(10, 2, seed=1),
+                           num_partitions=0)
+        with pytest.raises(InvalidJobConf):
+            job.validate()
+
+    def test_bad_epsilon(self):
+        job = IterativeJob(PageRank(), powerlaw_web_graph(10, 2, seed=1),
+                           epsilon=-1.0)
+        with pytest.raises(InvalidJobConf):
+            job.validate()
+
+    def test_algorithm_must_expose_api(self):
+        job = IterativeJob(object(), None)
+        with pytest.raises(InvalidJobConf):
+            job.validate()
+
+
+class TestRegroupKeys:
+    def test_one_to_many_becomes_one_to_one(self):
+        # Fig 5: group state kv-pairs that map to the same structure pair.
+        pairs = [("dk1", 1), ("dk2", 2), ("dk3", 3), ("dk4", 4)]
+        grouped = regroup_keys(pairs, lambda dk: "g1" if dk in ("dk1", "dk2") else "g2")
+        assert dict(grouped) == {
+            "g1": {"dk1": 1, "dk2": 2},
+            "g2": {"dk3": 3, "dk4": 4},
+        }
+
+    def test_empty(self):
+        assert regroup_keys([], lambda dk: dk) == []

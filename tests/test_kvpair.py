@@ -1,0 +1,112 @@
+"""Tests for the kv-pair model: delta records, key ordering, grouping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.kvpair import (
+    DeltaRecord,
+    Op,
+    delete,
+    group_sorted,
+    insert,
+    sort_key,
+    sorted_by_key,
+    update,
+)
+
+
+class TestDeltaRecords:
+    def test_insert_marker(self):
+        rec = insert("k", "v")
+        assert rec == DeltaRecord("k", "v", Op.INSERT)
+        assert rec.op.value == "+"
+
+    def test_delete_marker(self):
+        rec = delete("k", "v")
+        assert rec.op is Op.DELETE
+        assert rec.op.value == "-"
+
+    def test_update_is_delete_then_insert(self):
+        first, second = update("k", "old", "new")
+        assert first == delete("k", "old")
+        assert second == insert("k", "new")
+
+
+class TestSortKey:
+    def test_numbers_order_naturally(self):
+        keys = [3, 1.5, 2, -1]
+        assert sorted(keys, key=sort_key) == [-1, 1.5, 2, 3]
+
+    def test_strings_order_naturally(self):
+        assert sorted(["b", "a", "c"], key=sort_key) == ["a", "b", "c"]
+
+    def test_mixed_types_have_total_order(self):
+        keys = ["b", 2, (1, 2), None, 1, "a", (1, 1)]
+        ordered = sorted(keys, key=sort_key)
+        # None < numbers < strings < tuples, each group internally sorted.
+        assert ordered == [None, 1, 2, "a", "b", (1, 1), (1, 2)]
+
+    def test_nested_tuples(self):
+        keys = [(1, (2, 3)), (1, (2, 2))]
+        assert sorted(keys, key=sort_key) == [(1, (2, 2)), (1, (2, 3))]
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            sort_key({"a": 1})
+
+    def test_bool_sorts_before_numbers(self):
+        ordered = sorted([1, True, 0], key=sort_key)
+        assert ordered[0] is True
+
+
+class TestGroupSorted:
+    def test_basic_grouping(self):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        assert list(group_sorted(pairs)) == [("a", [1, 2]), ("b", [3])]
+
+    def test_empty(self):
+        assert list(group_sorted([])) == []
+
+    def test_single_group(self):
+        assert list(group_sorted([("x", 1)])) == [("x", [1])]
+
+    def test_values_keep_arrival_order(self):
+        pairs = [("a", 3), ("a", 1), ("a", 2)]
+        assert list(group_sorted(pairs)) == [("a", [3, 1, 2])]
+
+    def test_sorted_by_key_then_group_covers_all(self):
+        pairs = [(k, i) for i, k in enumerate("cabbagec")]
+        grouped = dict(group_sorted(sorted_by_key(pairs)))
+        assert sum(len(v) for v in grouped.values()) == len(pairs)
+
+
+_keys = st.one_of(
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=16),
+    st.tuples(st.integers(), st.text(max_size=4)),
+)
+
+
+class TestProperties:
+    @given(st.lists(_keys, max_size=50))
+    @settings(max_examples=100)
+    def test_sort_key_is_total_order(self, keys):
+        # Sorting must not raise and must be stable/deterministic.
+        once = sorted(keys, key=sort_key)
+        twice = sorted(list(reversed(keys)), key=sort_key)
+        assert [sort_key(k) for k in once] == [sort_key(k) for k in twice]
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=9), st.integers()), max_size=60))
+    @settings(max_examples=100)
+    def test_group_sorted_partitions_input(self, pairs):
+        ordered = sorted_by_key(pairs)
+        grouped = list(group_sorted(ordered))
+        # Keys strictly increase and every value is accounted for.
+        keys = [k for k, _ in grouped]
+        assert keys == sorted(set(keys))
+        flat = [v for _, values in grouped for v in values]
+        assert sorted(flat) == sorted(v for _, v in pairs)

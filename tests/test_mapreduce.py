@@ -1,0 +1,168 @@
+"""Tests for the vanilla MapReduce engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import InvalidJobConf
+from repro.mapreduce.api import Context, IdentityMapper, IdentityReducer, Mapper, Reducer
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import JobConf
+
+
+class TokenMapper(Mapper):
+    def map(self, key, text, ctx):
+        for word in text.split():
+            ctx.emit(word, 1)
+
+
+class SumRed(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def wordcount_conf(num_reducers=3, combiner=None):
+    return JobConf(
+        name="wc",
+        mapper=TokenMapper,
+        reducer=SumRed,
+        inputs=["/in"],
+        output="/out",
+        num_reducers=num_reducers,
+        combiner=combiner,
+    )
+
+
+class TestWordCount:
+    def test_correct_counts(self, cluster, dfs):
+        dfs.write("/in", [(i, "a b c a") for i in range(40)])
+        result = MapReduceEngine(cluster, dfs).run(wordcount_conf())
+        assert dict(dfs.read("/out")) == {"a": 80, "b": 40, "c": 40}
+        assert result.total_time > 0
+
+    def test_output_sorted_within_partitions(self, cluster, dfs):
+        dfs.write("/in", [(0, "z y x w v u")])
+        MapReduceEngine(cluster, dfs).run(wordcount_conf(num_reducers=1))
+        keys = [k for k, _ in dfs.read("/out")]
+        assert keys == sorted(keys)
+
+    def test_multiple_inputs(self, cluster, dfs):
+        dfs.write("/in", [(0, "a")])
+        dfs.write("/in2", [(1, "a b")])
+        conf = wordcount_conf()
+        conf = JobConf(
+            name="wc2", mapper=TokenMapper, reducer=SumRed,
+            inputs=["/in", "/in2"], output="/out", num_reducers=2,
+        )
+        MapReduceEngine(cluster, dfs).run(conf)
+        assert dict(dfs.read("/out")) == {"a": 2, "b": 1}
+
+    def test_combiner_reduces_shuffle_volume(self, cluster, dfs):
+        dfs.write("/in", [(i, "a a a a b") for i in range(50)])
+        engine = MapReduceEngine(cluster, dfs)
+        plain = engine.run(wordcount_conf())
+        combined = engine.run(
+            JobConf(name="wc-c", mapper=TokenMapper, reducer=SumRed,
+                    inputs=["/in"], output="/out2", num_reducers=3,
+                    combiner=SumRed)
+        )
+        assert dict(dfs.read("/out2")) == dict(dfs.read("/out"))
+        assert combined.metrics.counters.get("shuffle_bytes") < (
+            plain.metrics.counters.get("shuffle_bytes")
+        )
+
+
+class TestIdentityPipeline:
+    def test_identity_preserves_multiset(self, cluster, dfs):
+        records = [(i % 5, i) for i in range(30)]
+        dfs.write("/in", records)
+        conf = JobConf(name="id", mapper=IdentityMapper, reducer=IdentityReducer,
+                       inputs=["/in"], output="/out", num_reducers=4)
+        MapReduceEngine(cluster, dfs).run(conf)
+        assert sorted(dfs.read_all("/out")) == sorted(records)
+
+
+class TestMetrics:
+    def test_stage_times_populated(self, cluster, dfs):
+        dfs.write("/in", [(i, "a b") for i in range(100)])
+        result = MapReduceEngine(cluster, dfs).run(wordcount_conf())
+        times = result.metrics.times
+        assert times.startup == pytest.approx(cluster.cost_model.job_startup_s)
+        assert times.map > 0
+        assert times.shuffle > 0
+        assert times.reduce > 0
+
+    def test_charge_startup_flag(self, cluster, dfs):
+        dfs.write("/in", [(0, "a")])
+        result = MapReduceEngine(cluster, dfs).run(
+            wordcount_conf(), charge_startup=False
+        )
+        assert result.metrics.times.startup == 0.0
+
+    def test_record_counters(self, cluster, dfs):
+        dfs.write("/in", [(i, "a b c") for i in range(10)])
+        result = MapReduceEngine(cluster, dfs).run(wordcount_conf())
+        counters = result.metrics.counters
+        assert counters.get("map_input_records") == 10
+        assert counters.get("map_output_records") == 30
+        assert counters.get("reduce_input_records") == 30
+        assert counters.get("reduce_output_records") == 3
+
+    def test_determinism(self, dfs, cluster):
+        dfs.write("/in", [(i, "a b c a") for i in range(40)])
+        engine = MapReduceEngine(cluster, dfs)
+        t1 = engine.run(wordcount_conf()).total_time
+        t2 = engine.run(wordcount_conf()).total_time
+        assert t1 == pytest.approx(t2)
+
+
+class TestContext:
+    def test_take_drains(self):
+        ctx = Context()
+        ctx.emit("a", 1)
+        assert ctx.take() == [("a", 1)]
+        assert ctx.take() == []
+
+    def test_counters_available(self):
+        ctx = Context()
+        ctx.counters.add("seen")
+        assert ctx.counters.get("seen") == 1
+
+
+class TestValidation:
+    def test_empty_name(self):
+        conf = wordcount_conf()
+        conf.name = ""
+        with pytest.raises(InvalidJobConf):
+            conf.validate()
+
+    def test_no_inputs(self):
+        conf = wordcount_conf()
+        conf.inputs = []
+        with pytest.raises(InvalidJobConf):
+            conf.validate()
+
+    def test_bad_reducer_count(self):
+        conf = wordcount_conf()
+        conf.num_reducers = 0
+        with pytest.raises(InvalidJobConf):
+            conf.validate()
+
+    def test_non_callable_mapper(self):
+        conf = wordcount_conf()
+        conf.mapper = "not-a-factory"
+        with pytest.raises(InvalidJobConf):
+            conf.validate()
+
+
+class TestLocalityAccounting:
+    def test_remote_reads_counted_when_unavoidable(self):
+        from tests.conftest import fresh_cluster
+
+        # One worker holds every replica: with several workers, some map
+        # tasks must read remotely or queue; either way the job finishes
+        # and counters stay consistent.
+        cluster, dfs = fresh_cluster(num_workers=8, seed=3)
+        dfs.write("/in", [(i, "word " * 20) for i in range(200)])
+        result = MapReduceEngine(cluster, dfs).run(wordcount_conf())
+        assert dict(dfs.read("/out"))["word"] == 4000

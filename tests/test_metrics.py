@@ -1,0 +1,82 @@
+"""Tests for stage-time and counter containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import Counters, JobMetrics, StageTimes
+
+
+class TestStageTimes:
+    def test_total_sums_all_stages(self):
+        times = StageTimes(startup=1, map=2, shuffle=3, sort=4, reduce=5,
+                           merge=6, checkpoint=7)
+        assert times.total == pytest.approx(28)
+
+    def test_add_accumulates(self):
+        a = StageTimes(map=1.0)
+        a.add(StageTimes(map=2.0, reduce=3.0))
+        assert a.map == pytest.approx(3.0)
+        assert a.reduce == pytest.approx(3.0)
+
+    def test_plus_operator(self):
+        c = StageTimes(map=1.0) + StageTimes(shuffle=2.0)
+        assert c.map == pytest.approx(1.0)
+        assert c.shuffle == pytest.approx(2.0)
+
+    def test_as_dict_includes_total(self):
+        d = StageTimes(map=1.5).as_dict()
+        assert d["map"] == pytest.approx(1.5)
+        assert d["total"] == pytest.approx(1.5)
+
+    def test_scaled(self):
+        s = StageTimes(map=2.0, reduce=4.0).scaled(0.5)
+        assert s.map == pytest.approx(1.0)
+        assert s.reduce == pytest.approx(2.0)
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        c = Counters()
+        c.add("records", 5)
+        c.add("records", 3)
+        assert c.get("records") == 8
+
+    def test_default_zero(self):
+        assert Counters().get("missing") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 3
+
+    def test_items_sorted(self):
+        c = Counters()
+        c.add("zeta")
+        c.add("alpha")
+        assert [name for name, _ in c.items()] == ["alpha", "zeta"]
+
+    def test_as_dict_is_copy(self):
+        c = Counters()
+        c.add("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c.get("x") == 1
+
+
+class TestJobMetrics:
+    def test_merge_combines_both(self):
+        a = JobMetrics()
+        a.times.map = 1.0
+        a.counters.add("n", 1)
+        b = JobMetrics()
+        b.times.map = 2.0
+        b.counters.add("n", 2)
+        a.merge(b)
+        assert a.times.map == pytest.approx(3.0)
+        assert a.counters.get("n") == 3
+        assert a.total_time == pytest.approx(3.0)

@@ -1,0 +1,333 @@
+"""Tests for the on-disk MRBG-Store: chunks, index, windows, batches,
+persistence, compaction and metrics."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StoreClosedError, StoreError
+from repro.common.kvpair import Op
+from repro.mrbgraph.chunk import chunk_size, decode_chunk, encode_chunk
+from repro.mrbgraph.graph import DeltaEdge, Edge
+from repro.mrbgraph.store import MRBGStore
+from repro.mrbgraph.windows import (
+    IndexOnlyPolicy,
+    MultiDynamicWindowPolicy,
+    MultiFixedWindowPolicy,
+    SingleFixedWindowPolicy,
+)
+
+
+def make_store(tmp_path, policy=None, **kwargs) -> MRBGStore:
+    return MRBGStore(str(tmp_path / "store"), policy=policy, **kwargs)
+
+
+def build_chunks(n, edges_per_chunk=3):
+    return [
+        (k2, [Edge(mk, float(k2 * 10 + mk)) for mk in range(edges_per_chunk)])
+        for k2 in range(n)
+    ]
+
+
+class TestChunkCodec:
+    def test_roundtrip(self):
+        entries = [Edge(1, "a"), Edge(2, 3.5)]
+        raw = encode_chunk("key", entries)
+        k2, decoded, consumed = decode_chunk(raw)
+        assert k2 == "key"
+        assert decoded == entries
+        assert consumed == len(raw)
+
+    def test_chunk_size_matches(self):
+        entries = [Edge(1, (2, 3))]
+        assert chunk_size("k", entries) == len(encode_chunk("k", entries))
+
+    def test_empty_chunk(self):
+        raw = encode_chunk(5, [])
+        k2, decoded, _ = decode_chunk(raw)
+        assert k2 == 5
+        assert decoded == []
+
+
+class TestBuildAndGet:
+    def test_build_then_get(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(20))
+        assert len(store) == 20
+        assert store.get_chunk(7) == [Edge(0, 70.0), Edge(1, 71.0), Edge(2, 72.0)]
+        store.close()
+
+    def test_get_missing_returns_none(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(3))
+        assert store.get_chunk(99) is None
+        store.close()
+
+    def test_keys_sorted(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build([(k, [Edge(0, k)]) for k in [5, 1, 3]])
+        assert store.keys() == [1, 3, 5]
+        store.close()
+
+    def test_real_file_on_disk(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(10))
+        path = os.path.join(store.directory, "mrbg.dat")
+        assert os.path.getsize(path) == store.file_size > 0
+        store.close()
+
+    def test_contains(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(3))
+        assert 1 in store
+        assert 99 not in store
+        store.close()
+
+
+class TestMergeDelta:
+    def test_merge_updates_and_deletes(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(5))
+        delta = [
+            (1, [DeltaEdge(0, 999.0, Op.INSERT)]),
+            (2, [DeltaEdge(mk, None, Op.DELETE) for mk in range(3)]),
+        ]
+        merged = dict(store.merge_delta(delta))
+        assert merged[1][0] == Edge(0, 999.0)
+        assert merged[2] == []
+        assert store.get_chunk(2) is None
+        assert store.get_chunk(1)[0].value == 999.0
+        store.close()
+
+    def test_merge_creates_new_chunk(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(2))
+        list(store.merge_delta([(77, [DeltaEdge(1, "new", Op.INSERT)])]))
+        assert store.get_chunk(77) == [Edge(1, "new")]
+        store.close()
+
+    def test_each_merge_appends_a_batch(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(10))
+        assert store.num_batches == 1
+        for generation in range(3):
+            list(store.merge_delta(
+                [(k, [DeltaEdge(0, float(generation), Op.INSERT)])
+                 for k in range(0, 10, 2)]
+            ))
+        assert store.num_batches == 4
+        # Old versions remain until compaction: file exceeds live bytes.
+        assert store.file_size > store.live_bytes()
+        store.close()
+
+    def test_latest_version_wins_across_batches(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(4))
+        list(store.merge_delta([(1, [DeltaEdge(0, "v2", Op.INSERT)])]))
+        list(store.merge_delta([(1, [DeltaEdge(0, "v3", Op.INSERT)])]))
+        assert store.get_chunk(1)[0].value == "v3"
+        store.close()
+
+    def test_nested_session_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(2))
+        store.begin_merge([0])
+        with pytest.raises(StoreError):
+            store.begin_merge([1])
+        store.end_merge()
+        store.close()
+
+    def test_put_outside_session_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        with pytest.raises(StoreError):
+            store.put_chunk(1, [])
+        store.close()
+
+
+class TestWindowPolicies:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            IndexOnlyPolicy,
+            lambda: SingleFixedWindowPolicy(window_size=4096),
+            lambda: MultiFixedWindowPolicy(window_size=2048),
+            MultiDynamicWindowPolicy,
+        ],
+    )
+    def test_all_policies_read_correctly(self, tmp_path, policy_factory):
+        store = make_store(tmp_path, policy=policy_factory())
+        store.build(build_chunks(50))
+        list(store.merge_delta(
+            [(k, [DeltaEdge(0, -1.0, Op.INSERT)]) for k in range(0, 50, 3)]
+        ))
+        # Every chunk readable and correct regardless of policy.
+        for k in range(50):
+            chunk = store.get_chunk(k)
+            expected_first = -1.0 if k % 3 == 0 else float(k * 10)
+            assert chunk[0].value == expected_first
+        store.close()
+
+    def test_index_only_issues_most_reads(self, tmp_path):
+        def count_reads(policy):
+            store = MRBGStore(str(tmp_path / repr(policy.__class__.__name__)),
+                              policy=policy)
+            store.build(build_chunks(200))
+            keys = list(range(0, 200, 2))
+            store.begin_merge(keys)
+            for k in keys:
+                store.get_chunk(k)
+            store.end_merge()
+            reads = store.metrics.io_reads
+            store.close()
+            return reads
+
+        assert count_reads(IndexOnlyPolicy()) > count_reads(
+            MultiDynamicWindowPolicy()
+        )
+
+    def test_dynamic_window_prefetch_hits_cache(self, tmp_path):
+        store = make_store(tmp_path, policy=MultiDynamicWindowPolicy())
+        store.build(build_chunks(100))
+        keys = list(range(100))
+        store.begin_merge(keys)
+        for k in keys:
+            store.get_chunk(k)
+        store.end_merge()
+        assert store.metrics.cache_hits > store.metrics.cache_misses
+        store.close()
+
+
+class TestPersistence:
+    def test_save_and_reopen(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(10))
+        list(store.merge_delta([(3, [DeltaEdge(0, "updated", Op.INSERT)])]))
+        store.save_index()
+        store.close()
+
+        reopened = MRBGStore.open(str(tmp_path / "store"))
+        assert len(reopened) == 10
+        assert reopened.get_chunk(3)[0].value == "updated"
+        assert reopened.num_batches == 2
+        reopened.close()
+
+    def test_closed_store_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(2))
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.get_chunk(1)
+        store.close()  # second close is a no-op
+
+
+class TestCompaction:
+    def test_compact_preserves_content(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(30))
+        for generation in range(4):
+            list(store.merge_delta(
+                [(k, [DeltaEdge(0, float(generation), Op.INSERT)])
+                 for k in range(0, 30, 2)]
+            ))
+        before = {k: store.get_chunk(k) for k in store.keys()}
+        old_size = store.file_size
+        store.compact()
+        assert store.num_batches == 1
+        assert store.file_size < old_size
+        assert store.file_size == store.live_bytes()
+        after = {k: store.get_chunk(k) for k in store.keys()}
+        assert before == after
+        store.close()
+
+    def test_compact_during_session_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(2))
+        store.begin_merge([0])
+        with pytest.raises(StoreError):
+            store.compact()
+        store.end_merge()
+        store.close()
+
+    def test_compact_tracked_separately(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(10))
+        read_before = store.metrics.read_time_s
+        store.compact()
+        assert store.metrics.compactions == 1
+        assert store.metrics.compact_time_s > 0
+        # Compaction time never leaks into read/write time.
+        assert store.metrics.read_time_s == read_before
+        store.close()
+
+
+class TestMetrics:
+    def test_bytes_read_measured(self, tmp_path):
+        store = make_store(tmp_path, policy=IndexOnlyPolicy())
+        store.build(build_chunks(10))
+        store.metrics.reset()
+        store.begin_merge([4])
+        chunk_bytes = chunk_size(4, store.get_chunk(4))
+        store.end_merge()
+        assert store.metrics.bytes_read == chunk_bytes
+        assert store.metrics.io_reads == 1
+        store.close()
+
+    def test_snapshot_since(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(10))
+        snap = store.metrics.snapshot()
+        list(store.merge_delta([(1, [DeltaEdge(0, 1.0, Op.INSERT)])]))
+        delta = store.metrics.since(snap)
+        assert delta.io_reads >= 1
+        assert delta.bytes_written > 0
+        store.close()
+
+
+# Property test: an arbitrary interleaving of merges matches a dict model.
+_delta_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),   # k2
+        st.integers(min_value=0, max_value=4),   # mk
+        st.integers(min_value=-100, max_value=100),  # value
+        st.booleans(),  # delete?
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestStoreModelProperty:
+    @given(st.lists(_delta_ops, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_merges_match_dict_model(self, tmp_path_factory, batches):
+        tmp = tmp_path_factory.mktemp("store-prop")
+        store = MRBGStore(str(tmp))
+        store.build([(k, [Edge(0, 0)]) for k in range(10)])
+        model = {k: {0: 0} for k in range(10)}
+
+        for batch in batches:
+            grouped = {}
+            for k2, mk, value, is_delete in batch:
+                grouped.setdefault(k2, []).append(
+                    DeltaEdge(mk, None if is_delete else value,
+                              Op.DELETE if is_delete else Op.INSERT)
+                )
+                chunk = model.setdefault(k2, {})
+                if is_delete:
+                    chunk.pop(mk, None)
+                else:
+                    chunk[mk] = value
+            list(store.merge_delta(sorted(grouped.items())))
+
+        for k in range(10):
+            expected = model.get(k, {})
+            actual = store.get_chunk(k)
+            if not expected:
+                assert actual is None or actual == []
+            else:
+                assert actual == [Edge(mk, expected[mk]) for mk in sorted(expected)]
+        store.close()

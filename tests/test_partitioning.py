@@ -1,0 +1,151 @@
+"""Tests for dependency-aware data partitioning (§4.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.kmeans import Kmeans, STATE_KEY
+from repro.common.hashing import partition_for
+from repro.datasets.graphs import powerlaw_web_graph
+from repro.datasets.points import gaussian_points
+from repro.iterative.partitioning import (
+    partition_job_cost,
+    partition_structure,
+    state_bytes_by_partition,
+    state_partition,
+)
+from repro.cluster.costmodel import CostModel
+
+
+@pytest.fixture
+def pagerank_parts():
+    graph = powerlaw_web_graph(120, 4, seed=2)
+    algorithm = PageRank()
+    records = algorithm.structure_records(graph)
+    return algorithm, records, partition_structure(algorithm, records, 4)
+
+
+class TestCoPartitioning:
+    def test_interdependent_pairs_colocated(self, pagerank_parts):
+        algorithm, records, parts = pagerank_parts
+        # Structure pair (SK, SV) lives in hash(project(SK)) — the same
+        # partition as its state kv-pair hash(DK).
+        for p in range(4):
+            for dk, pairs in parts.iter_groups(p):
+                assert state_partition(dk, 4) == p
+                for sk, _ in pairs:
+                    assert algorithm.project(sk) == dk
+
+    def test_all_pairs_present(self, pagerank_parts):
+        _, records, parts = pagerank_parts
+        assert parts.total_pairs() == len(records)
+
+    def test_groups_sorted_by_dk(self, pagerank_parts):
+        _, _, parts = pagerank_parts
+        for p in range(4):
+            dks = [dk for dk, _ in parts.iter_groups(p)]
+            assert dks == sorted(dks)
+
+    def test_bytes_tracked(self, pagerank_parts):
+        _, records, parts = pagerank_parts
+        from repro.common.sizeof import records_size
+
+        assert sum(parts.structure_bytes) == records_size(records)
+
+
+class TestAllToOne:
+    def test_replicated_flag(self):
+        points = gaussian_points(60, dim=3, k=3, seed=1)
+        algorithm = Kmeans(k=3, dim=3)
+        parts = partition_structure(
+            algorithm, algorithm.structure_records(points), 4
+        )
+        assert parts.replicated_state
+        # Every partition's single group is the unique state key.
+        for p in range(4):
+            for dk, _ in parts.iter_groups(p):
+                assert dk == STATE_KEY
+
+    def test_points_spread_across_partitions(self):
+        points = gaussian_points(200, dim=3, k=3, seed=1)
+        algorithm = Kmeans(k=3, dim=3)
+        parts = partition_structure(
+            algorithm, algorithm.structure_records(points), 4
+        )
+        assert min(parts.num_pairs) > 20
+
+    def test_state_bytes_replicated(self):
+        sizes = state_bytes_by_partition({1: "abc"}, 3, replicated=True)
+        assert len(set(sizes)) == 1
+        assert sizes[0] > 0
+
+
+class TestMutation:
+    def test_insert_then_delete_roundtrip(self, pagerank_parts):
+        algorithm, _, parts = pagerank_parts
+        before_pairs = parts.total_pairs()
+        before_bytes = sum(parts.structure_bytes)
+        p = parts.insert_pair(algorithm, 999, ((1, 2), ""))
+        assert parts.total_pairs() == before_pairs + 1
+        assert sum(parts.structure_bytes) > before_bytes
+        q = parts.delete_pair(algorithm, 999, ((1, 2), ""))
+        assert p == q
+        assert parts.total_pairs() == before_pairs
+        assert sum(parts.structure_bytes) == before_bytes
+
+    def test_delete_missing_raises(self, pagerank_parts):
+        algorithm, _, parts = pagerank_parts
+        with pytest.raises(KeyError):
+            parts.delete_pair(algorithm, 424242, ((1,), ""))
+
+    def test_delete_matches_value(self, pagerank_parts):
+        algorithm, records, parts = pagerank_parts
+        sk, sv = records[0]
+        with pytest.raises(KeyError):
+            parts.delete_pair(algorithm, sk, ((123456,), "wrong"))
+        parts.delete_pair(algorithm, sk, sv)  # correct value succeeds
+
+
+class TestPartitionJobCost:
+    def test_positive_and_monotone(self):
+        cost = CostModel()
+        small = partition_job_cost(cost, 4, 10**6, 1000, 4)
+        large = partition_job_cost(cost, 4, 10**8, 100_000, 4)
+        assert 0 < small < large
+
+    def test_more_workers_cheaper(self):
+        cost = CostModel()
+        few = partition_job_cost(cost, 2, 10**8, 100_000, 4)
+        many = partition_job_cost(cost, 16, 10**8, 100_000, 4)
+        assert many < few
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            partition_job_cost(CostModel(), 0, 100, 10, 4)
+
+
+class TestStateBytes:
+    def test_partitioned_sum_matches_total(self):
+        from repro.common.sizeof import record_size
+
+        state = {i: float(i) for i in range(50)}
+        sizes = state_bytes_by_partition(state, 4, replicated=False)
+        assert sum(sizes) == sum(record_size(k, v) for k, v in state.items())
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=1000),
+                           st.floats(allow_nan=False), max_size=40))
+    @settings(max_examples=50)
+    def test_every_key_lands_in_its_hash_partition(self, state):
+        n = 5
+        sizes = state_bytes_by_partition(state, n, replicated=False)
+        assert len(sizes) == n
+        # Rebuild per-partition sums independently.
+        from repro.common.sizeof import record_size
+
+        expected = [0] * n
+        for dk, dv in state.items():
+            expected[partition_for(dk, n)] += record_size(dk, dv)
+        assert sizes == expected

@@ -1,0 +1,75 @@
+"""Tests for LPT/locality task scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.scheduler import TaskSpec, parallel_time, schedule_stage
+
+
+class TestBasicScheduling:
+    def test_single_task(self):
+        result = schedule_stage([TaskSpec("t0", 5.0)], num_workers=4)
+        assert result.elapsed_s == pytest.approx(5.0)
+
+    def test_perfect_balance(self):
+        tasks = [TaskSpec(str(i), 1.0) for i in range(8)]
+        result = schedule_stage(tasks, num_workers=4)
+        assert result.elapsed_s == pytest.approx(2.0)
+
+    def test_lpt_handles_skew(self):
+        tasks = [TaskSpec("big", 10.0)] + [TaskSpec(f"s{i}", 1.0) for i in range(10)]
+        result = schedule_stage(tasks, num_workers=4)
+        # The big task bounds the makespan; small ones pack around it.
+        assert result.elapsed_s == pytest.approx(10.0)
+
+    def test_empty_stage(self):
+        assert schedule_stage([], num_workers=4).elapsed_s == 0.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            schedule_stage([], num_workers=0)
+
+    def test_task_overhead_added(self):
+        result = schedule_stage(
+            [TaskSpec("t", 1.0)], num_workers=1, task_overhead_s=0.5
+        )
+        assert result.elapsed_s == pytest.approx(1.5)
+
+
+class TestLocality:
+    def test_prefers_local_worker(self):
+        tasks = [TaskSpec("t0", 1.0, preferred_workers=[2])]
+        result = schedule_stage(tasks, num_workers=4)
+        assert result.assignment["t0"] == 2
+        assert result.locality_hits == 1
+
+    def test_gives_up_locality_under_load(self):
+        # Ten tasks all prefer worker 0; most should overflow elsewhere.
+        tasks = [TaskSpec(f"t{i}", 1.0, preferred_workers=[0]) for i in range(10)]
+        result = schedule_stage(tasks, num_workers=5)
+        assert result.locality_misses > 0
+        assert result.elapsed_s < 10.0  # not all serialized on worker 0
+
+    def test_pinned_overrides_preference(self):
+        tasks = [TaskSpec("t0", 1.0, preferred_workers=[1], pinned_worker=3)]
+        result = schedule_stage(tasks, num_workers=4)
+        assert result.assignment["t0"] == 3
+
+    def test_pinned_wraps_modulo_workers(self):
+        tasks = [TaskSpec("t0", 1.0, pinned_worker=10)]
+        result = schedule_stage(tasks, num_workers=4)
+        assert result.assignment["t0"] == 2
+
+
+class TestParallelTime:
+    def test_matches_schedule_stage(self):
+        costs = [3.0, 1.0, 2.0, 2.0]
+        assert parallel_time(costs, 2) == pytest.approx(4.0)
+
+    def test_single_worker_sums(self):
+        assert parallel_time([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_deterministic(self):
+        costs = [float(i % 5 + 1) for i in range(40)]
+        assert parallel_time(costs, 6) == parallel_time(costs, 6)

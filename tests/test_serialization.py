@@ -1,0 +1,143 @@
+"""Unit and property tests for the binary serialization format."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.common.serialization import (
+    decode,
+    decode_record,
+    encode,
+    encode_record,
+)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**62),
+            0.0,
+            3.14159,
+            float("inf"),
+            float("-inf"),
+            "",
+            "hello",
+            "ünïcodé ♥",
+            b"",
+            b"\x00\xff",
+            (),
+            (1, 2, 3),
+            [1, "two", 3.0],
+            {"a": 1, "b": [2, 3]},
+            (1, ("nested", (2.5, None))),
+        ],
+    )
+    def test_roundtrip(self, value):
+        decoded, offset = decode(encode(value))
+        assert decoded == value
+        assert offset == len(encode(value))
+
+    def test_nan_roundtrip(self):
+        decoded, _ = decode(encode(float("nan")))
+        assert math.isnan(decoded)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SerializationError):
+            encode(object())
+
+    def test_oversized_int_raises(self):
+        with pytest.raises(SerializationError):
+            encode(2**70)
+
+    def test_truncated_input_raises(self):
+        raw = encode("hello world")
+        with pytest.raises(SerializationError):
+            decode(raw[: len(raw) - 3])
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(SerializationError):
+            decode(b"\xfe")
+
+    def test_decode_at_offset(self):
+        raw = encode(1) + encode("two")
+        first, offset = decode(raw, 0)
+        second, end = decode(raw, offset)
+        assert first == 1
+        assert second == "two"
+        assert end == len(raw)
+
+
+class TestRecords:
+    def test_record_roundtrip(self):
+        raw = encode_record("key", [1, 2, 3])
+        key, value, offset = decode_record(raw)
+        assert key == "key"
+        assert value == [1, 2, 3]
+        assert offset == len(raw)
+
+    def test_concatenated_records(self):
+        raw = encode_record(1, "a") + encode_record(2, "b")
+        k1, v1, offset = decode_record(raw, 0)
+        k2, v2, end = decode_record(raw, offset)
+        assert (k1, v1, k2, v2) == (1, "a", 2, "b")
+        assert end == len(raw)
+
+    def test_truncated_record_raises(self):
+        raw = encode_record("key", "value")
+        with pytest.raises(SerializationError):
+            decode_record(raw[:-1])
+
+
+# A strategy of values covering the full supported type lattice.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.tuples(inner, inner),
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestProperties:
+    @given(_values)
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, value):
+        decoded, consumed = decode(encode(value))
+        assert decoded == value
+        assert consumed == len(encode(value))
+
+    @given(_values, _values)
+    @settings(max_examples=100)
+    def test_record_roundtrip_property(self, key, value):
+        raw = encode_record(key, value)
+        got_key, got_value, consumed = decode_record(raw)
+        assert got_key == key
+        assert got_value == value
+        assert consumed == len(raw)
+
+    @given(_values)
+    @settings(max_examples=100)
+    def test_encoding_deterministic(self, value):
+        assert encode(value) == encode(value)
