@@ -1,0 +1,52 @@
+"""Benchmark — executor backends: host wall-clock per backend.
+
+Runs the Fig 8 PageRank workload (all five solutions) under each
+execution backend and records wall-clock via pytest-benchmark, so the
+JSON export carries a serial/thread/process comparison for the host the
+suite ran on.  Simulated cluster times must be *identical* across
+backends — that is asserted, not just reported; only wall-clock is
+allowed to differ.
+
+Speedups depend on the host: the thread backend is GIL-bound for
+pure-Python map/reduce functions, and the process backend pays pickling
+and pool-startup costs that only amortize at ``REPRO_BENCH_SCALE=small``
+and above on multi-core machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_overall import run_workload
+
+#: Simulated runtimes of an unbenchmarked serial reference run, keyed by
+#: scale.  Computed independently of the parametrization order so the
+#: assertion stays meaningful even when a single backend is selected
+#: with ``-k`` or tests are distributed across workers.
+_reference: dict = {}
+
+
+def _serial_reference(scale: str) -> dict:
+    if scale not in _reference:
+        _reference[scale] = run_workload("pagerank", scale=scale, executor="serial")
+    return _reference[scale]
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_bench_executors(benchmark, bench_scale, backend):
+    reference = _serial_reference(bench_scale)
+    times = run_once(
+        benchmark, run_workload, "pagerank", scale=bench_scale, executor=backend
+    )
+    benchmark.extra_info["backend"] = backend
+    for solution, simulated in times.items():
+        benchmark.extra_info[solution] = round(simulated, 1)
+    print(
+        f"\nExecutor backend [{backend}]: simulated plainmr={times['plainmr']:.0f}s, "
+        f"i2mr_cpc={times['i2mr_cpc']:.0f}s (wall-clock in the benchmark table)"
+    )
+
+    assert times == reference, (
+        f"simulated metrics changed under the {backend!r} backend"
+    )

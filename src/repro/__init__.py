@@ -14,6 +14,8 @@ production-quality Python library:
   Project API and dependency-aware co-partitioning (section 4);
 - :mod:`repro.inciter` — incremental iterative processing with change
   propagation control and the P-delta auto-off (section 5);
+- :mod:`repro.execution` — pluggable host execution backends (serial /
+  thread / process) every engine dispatches its task batches through;
 - :mod:`repro.faults` — checkpoint-based fault tolerance (section 6);
 - :mod:`repro.baselines` — PlainMR recomputation, HaLoop, a Spark-like
   in-memory engine and an Incoop-like task-level memoizer (section 8.1.1);
@@ -53,6 +55,13 @@ from repro.baselines.spark import SparkLikeDriver
 from repro.cluster import Cluster, CostModel
 from repro.common.kvpair import DeltaRecord, Op, delete, insert, update
 from repro.dfs import DistributedFS
+from repro.execution import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_executor,
+)
 from repro.faults import FaultContext, FaultInjector, FaultSpec
 from repro.inciter import I2MREngine, I2MROptions
 from repro.incremental import (
@@ -72,7 +81,7 @@ from repro.mapreduce import (
 )
 from repro.mrbgraph import MRBGStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GIMV",
@@ -93,6 +102,11 @@ __all__ = [
     "insert",
     "update",
     "DistributedFS",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "resolve_executor",
     "FaultContext",
     "FaultInjector",
     "FaultSpec",

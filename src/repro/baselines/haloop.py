@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import JobMetrics
 from repro.dfs.filesystem import DistributedFS
+from repro.execution import ExecutorSpec
 from repro.mapreduce.engine import MapInputSplit, MapReduceEngine
 from repro.mapreduce.job import JobConf, JobResult
 
@@ -35,8 +36,13 @@ CacheEntry = Dict[int, List[Tuple[List[Tuple[Any, Any]], int]]]
 class HaLoopEngine(MapReduceEngine):
     """MapReduce engine with HaLoop's loop-aware scheduling and caches."""
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
-        super().__init__(cluster, dfs)
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFS,
+        executor: ExecutorSpec = None,
+    ) -> None:
+        super().__init__(cluster, dfs, executor=executor)
         self._reducer_cache: Dict[str, CacheEntry] = {}
 
     def run_loop_job(
@@ -127,10 +133,19 @@ class HaLoopEngine(MapReduceEngine):
 class HaLoopDriver:
     """Loops an algorithm's :class:`HaLoopFormulation` to convergence."""
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFS,
+        executor: ExecutorSpec = None,
+    ) -> None:
         self.cluster = cluster
         self.dfs = dfs
-        self.engine = HaLoopEngine(cluster, dfs)
+        self.engine = HaLoopEngine(cluster, dfs, executor=executor)
+
+    def close(self) -> None:
+        """Shut down any host worker pools the driver's engine created."""
+        self.engine.close()
 
     def run(
         self,

@@ -26,8 +26,14 @@ from repro.cluster.metrics import Counters, JobMetrics
 from repro.common.hashing import stable_hash
 from repro.common.kvpair import group_sorted, sort_key
 from repro.common.sizeof import record_size
+from repro.execution import ExecutorSpec
 from repro.mapreduce.api import Context
-from repro.mapreduce.engine import MapInputSplit, MapReduceEngine
+from repro.mapreduce.engine import (
+    MapInputSplit,
+    MapReduceEngine,
+    MapTaskPayload,
+    execute_map_task,
+)
 from repro.mapreduce.job import JobConf, JobResult
 
 
@@ -83,8 +89,14 @@ def _fingerprint(records: List[Tuple[Any, Any]]) -> int:
 class IncoopEngine(MapReduceEngine):
     """Task-level memoizing MapReduce engine."""
 
-    def __init__(self, cluster: Any, dfs: Any, chunk_records: int = 256) -> None:
-        super().__init__(cluster, dfs)
+    def __init__(
+        self,
+        cluster: Any,
+        dfs: Any,
+        chunk_records: int = 256,
+        executor: ExecutorSpec = None,
+    ) -> None:
+        super().__init__(cluster, dfs, executor=executor)
         self.chunk_records = chunk_records
 
     def run_memoized(
@@ -109,47 +121,51 @@ class IncoopEngine(MapReduceEngine):
         chunks = content_defined_chunks(records, self.chunk_records)
 
         # ----------------------------- map ----------------------------- #
+        # Unchanged chunks reuse their memoized output; the rest form one
+        # task batch dispatched through the job's execution backend.
         map_loads = [0.0] * self.cluster.num_workers
         reused = 0
-        executed = 0
-        all_outputs: List[_MemoEntry] = []
+        entries_by_index: Dict[int, _MemoEntry] = {}
+        pending: List[Tuple[int, List[Tuple[Any, Any]], int]] = []
         for index, chunk in enumerate(chunks):
             fp = _fingerprint(chunk)
             memo = prev.map_memo.get(fp)
             if memo is not None:
                 new_state.map_memo[fp] = memo
-                all_outputs.append(memo)
+                entries_by_index[index] = memo
                 reused += 1
-                continue
-            executed += 1
-            mapper = jobconf.mapper()
-            ctx = Context()
-            mapper.setup(ctx)
-            for key, value in chunk:
-                mapper.map(key, value, ctx)
-            mapper.cleanup(ctx)
-            emitted = ctx.take()
-            partitions: Dict[int, List[Tuple[Any, Any]]] = {}
-            for key, value in emitted:
-                part = jobconf.partitioner(key, jobconf.num_reducers)
-                partitions.setdefault(part, []).append((key, value))
-            partition_bytes: Dict[int, int] = {}
-            for part, pairs in partitions.items():
-                pairs.sort(key=lambda kv: sort_key(kv[0]))
-                partition_bytes[part] = sum(record_size(k, v) for k, v in pairs)
-            entry = _MemoEntry(partitions, partition_bytes)
+            else:
+                pending.append((index, chunk, fp))
+
+        payloads = [
+            MapTaskPayload(
+                task_index=index,
+                mapper_factory=jobconf.mapper,
+                records=chunk,
+                size_bytes=sum(record_size(k, v) for k, v in chunk),
+                num_reducers=jobconf.num_reducers,
+                partitioner=jobconf.partitioner,
+                combiner_factory=None,
+            )
+            for index, chunk, _ in pending
+        ]
+        runs = self.backend_for(jobconf).run_tasks(execute_map_task, payloads)
+
+        for (index, chunk, fp), run in zip(pending, runs):
+            entry = _MemoEntry(run.partitions, run.partition_bytes)
             new_state.map_memo[fp] = entry
-            all_outputs.append(entry)
+            entries_by_index[index] = entry
 
             chunk_bytes = sum(record_size(k, v) for k, v in chunk)
             task_cost = cost.disk_read_time(chunk_bytes)
             task_cost += cost.parse_time(chunk_bytes)
-            task_cost += cost.cpu_time(len(chunk), mapper.cpu_weight)
-            task_cost += cost.sort_time(len(emitted))
-            task_cost += cost.disk_write_time(sum(partition_bytes.values()))
+            task_cost += cost.cpu_time(len(chunk), run.cpu_weight)
+            task_cost += cost.sort_time(run.emitted_records)
+            task_cost += cost.disk_write_time(sum(run.partition_bytes.values()))
             map_loads[index % self.cluster.num_workers] += task_cost
+        all_outputs = [entries_by_index[index] for index in range(len(chunks))]
         counters.add("map_tasks_reused", reused)
-        counters.add("map_tasks_executed", executed)
+        counters.add("map_tasks_executed", len(pending))
 
         # ------------------------- shuffle+reduce ---------------------- #
         shuffle_loads = [0.0] * self.cluster.num_workers

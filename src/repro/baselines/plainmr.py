@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import JobMetrics
 from repro.dfs.filesystem import DistributedFS
+from repro.execution import ExecutorSpec
 from repro.mapreduce.engine import MapReduceEngine
 
 
@@ -37,10 +38,19 @@ class RecompResult:
 class PlainMRDriver:
     """Loops an algorithm's :class:`PlainFormulation` to convergence."""
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFS,
+        executor: ExecutorSpec = None,
+    ) -> None:
         self.cluster = cluster
         self.dfs = dfs
-        self.engine = MapReduceEngine(cluster, dfs)
+        self.engine = MapReduceEngine(cluster, dfs, executor=executor)
+
+    def close(self) -> None:
+        """Shut down any host worker pools the driver's engine created."""
+        self.engine.close()
 
     def run(
         self,

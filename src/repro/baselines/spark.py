@@ -28,6 +28,7 @@ from repro.cluster.metrics import JobMetrics, StageTimes
 from repro.common.hashing import partition_for
 from repro.common.sizeof import record_size
 from repro.dfs.filesystem import DistributedFS
+from repro.execution import ExecutorSelector, ExecutorSpec
 
 #: Spark keeps the current and previous state RDD generations (plus
 #: lineage bookkeeping) alive across an iteration boundary.
@@ -47,6 +48,50 @@ _SCHEDULER_TICK_S = 0.5
 
 
 @dataclass
+class SparkMapPayload:
+    """One RDD map task: a contiguous slice of the cached partitions."""
+
+    index: int
+    #: ``(DK, DV, [(SK, SV), ...])`` groups with the state value joined in.
+    groups: List[Tuple[Any, Any, List[Tuple[Any, Any]]]]
+    algorithm: Any
+
+
+@dataclass
+class SparkMapRun:
+    """Contributions of one RDD map task."""
+
+    index: int
+    contributions: Dict[Any, List[Any]]
+    emitted: int
+    emitted_bytes: int
+    num_pairs: int
+
+
+def execute_spark_map_task(payload: SparkMapPayload) -> SparkMapRun:
+    """Map one slice of the cached structure RDD; pure function."""
+    algorithm = payload.algorithm
+    contributions: Dict[Any, List[Any]] = {}
+    emitted = 0
+    emitted_bytes = 0
+    num_pairs = 0
+    for dk, dv, pairs in payload.groups:
+        for sk, sv in pairs:
+            num_pairs += 1
+            for k2, v2 in algorithm.map_instance(sk, sv, dk, dv):
+                contributions.setdefault(k2, []).append(v2)
+                emitted += 1
+                emitted_bytes += record_size(k2, v2)
+    return SparkMapRun(
+        index=payload.index,
+        contributions=contributions,
+        emitted=emitted,
+        emitted_bytes=emitted_bytes,
+        num_pairs=num_pairs,
+    )
+
+
+@dataclass
 class SparkRunStats:
     """Memory accounting of a Spark-like run."""
 
@@ -61,10 +106,21 @@ class SparkRunStats:
 class SparkLikeDriver:
     """Runs an :class:`IterativeAlgorithm` under the Spark cost model."""
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFS,
+        executor: ExecutorSpec = None,
+    ) -> None:
         self.cluster = cluster
         self.dfs = dfs
+        self.executors = ExecutorSelector(executor)
+        self.executor = self.executors.get()
         self.last_stats = SparkRunStats()
+
+    def close(self) -> None:
+        """Shut down any host worker pools the driver created."""
+        self.executors.close()
 
     def run(
         self,
@@ -116,20 +172,37 @@ class SparkLikeDriver:
             iterations = it + 1
             times = StageTimes()
             # ----------------------------- map --------------------------- #
-            contributions: Dict[Any, List[Any]] = {}
-            emitted = 0
-            emitted_bytes = 0
-            num_pairs = 0
+            # One RDD map task per contiguous slice of the cached
+            # partitions, dispatched through the execution backend;
+            # merging contributions in slice order reproduces exactly
+            # the serial iteration order.
+            joined = []
             for dk, pairs in groups.items():
                 dv = state.get(dk)
                 if dv is None:
                     dv = algorithm.init_state_value(dk)
-                for sk, sv in pairs:
-                    num_pairs += 1
-                    for k2, v2 in algorithm.map_instance(sk, sv, dk, dv):
-                        contributions.setdefault(k2, []).append(v2)
-                        emitted += 1
-                        emitted_bytes += record_size(k2, v2)
+                joined.append((dk, dv, pairs))
+            slice_size = max(1, -(-len(joined) // max(1, workers)))
+            payloads = [
+                SparkMapPayload(
+                    index=i,
+                    groups=joined[start : start + slice_size],
+                    algorithm=algorithm,
+                )
+                for i, start in enumerate(range(0, len(joined), slice_size))
+            ]
+            map_runs = self.executor.run_tasks(execute_spark_map_task, payloads)
+
+            contributions: Dict[Any, List[Any]] = {}
+            emitted = 0
+            emitted_bytes = 0
+            num_pairs = 0
+            for run in sorted(map_runs, key=lambda r: r.index):
+                for k2, values in run.contributions.items():
+                    contributions.setdefault(k2, []).extend(values)
+                emitted += run.emitted
+                emitted_bytes += run.emitted_bytes
+                num_pairs += run.num_pairs
             times.map = cost.cpu_time(num_pairs, algorithm.map_cpu_weight) / workers
 
             # --------------------------- shuffle ------------------------- #

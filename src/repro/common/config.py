@@ -13,6 +13,8 @@ These constants mirror the defaults stated in the paper:
 
 from __future__ import annotations
 
+import os
+
 KB = 1024
 MB = 1024 * 1024
 GB = 1024 * 1024 * 1024
@@ -48,3 +50,20 @@ DEFAULT_NUM_WORKERS = 8
 
 #: Default DFS replication factor.
 DEFAULT_REPLICATION = 3
+
+
+def _default_max_workers() -> "int | None":
+    raw = os.environ.get("REPRO_MAX_WORKERS")
+    return int(raw) if raw else None
+
+
+#: Default host execution backend for running map/reduce task batches
+#: (``"serial"`` / ``"thread"`` / ``"process"``); see
+#: :mod:`repro.execution`.  Overridable per job via ``JobConf.executor``
+#: or globally via the ``REPRO_EXECUTOR`` environment variable.
+DEFAULT_EXECUTOR = os.environ.get("REPRO_EXECUTOR", "serial")
+
+#: Default worker cap for pool backends; ``None`` means one worker per
+#: host CPU.  Overridable via the ``REPRO_MAX_WORKERS`` environment
+#: variable.
+DEFAULT_MAX_WORKERS = _default_max_workers()

@@ -1,0 +1,126 @@
+"""Pluggable parallel execution backends.
+
+The simulated cluster decides *how much time a task is charged*; an
+:class:`ExecutionBackend` decides *where the task's Python code actually
+runs on the host*: inline (``serial``), on a thread pool (``thread``) or
+on a process pool (``process``).  Results are merged in task-index
+order, so every backend produces byte-identical outputs, counters and
+simulated times — only host wall-clock changes.
+
+Selection flows through job configuration::
+
+    conf = JobConf(..., executor="process", max_workers=8)
+    job = IterativeJob(..., executor="thread")
+
+or engine-wide::
+
+    engine = MapReduceEngine(cluster, dfs, executor="process")
+
+with :data:`repro.common.config.DEFAULT_EXECUTOR` (overridable via the
+``REPRO_EXECUTOR`` environment variable) as the fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.common import config
+from repro.execution.base import ExecutionBackend, ExecutorStats
+from repro.execution.processes import ProcessBackend
+from repro.execution.serial import SerialBackend
+from repro.execution.threads import ThreadBackend
+
+#: Name -> backend class registry (aliases included).
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "threads": ThreadBackend,
+    "process": ProcessBackend,
+    "processes": ProcessBackend,
+}
+
+#: Canonical backend names, for error messages and validation.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: What callers may pass wherever an executor is selected.
+ExecutorSpec = Union[None, str, ExecutionBackend]
+
+
+def resolve_executor(
+    spec: ExecutorSpec = None,
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Turn an executor specification into a live backend.
+
+    Args:
+        spec: a backend name from :data:`BACKENDS`, an already
+            constructed :class:`ExecutionBackend` (returned unchanged),
+            or ``None`` for :data:`repro.common.config.DEFAULT_EXECUTOR`.
+        max_workers: worker cap for pool backends (``None`` = one per
+            host CPU, per :data:`repro.common.config.DEFAULT_MAX_WORKERS`).
+
+    Raises:
+        ValueError: for an unknown backend name.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name = spec or config.DEFAULT_EXECUTOR
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+        ) from None
+    return backend_cls(max_workers=max_workers or config.DEFAULT_MAX_WORKERS)
+
+
+class ExecutorSelector:
+    """Per-engine cache of backends so pools persist across phases.
+
+    An engine owns one selector; each job may override the engine-wide
+    default through ``JobConf.executor`` / ``IterativeJob.executor``.
+    Backends the selector constructs are cached by ``(name,
+    max_workers)`` and shut down together by :meth:`close`; backends the
+    caller constructed are passed through and never closed here.
+    """
+
+    def __init__(self, default: ExecutorSpec = None) -> None:
+        self._default = default
+        self._cache: Dict[Tuple[str, Optional[int]], ExecutionBackend] = {}
+
+    def get(
+        self,
+        spec: ExecutorSpec = None,
+        max_workers: Optional[int] = None,
+    ) -> ExecutionBackend:
+        """Backend for one job: ``spec`` wins, then the engine default."""
+        spec = spec if spec is not None else self._default
+        if isinstance(spec, ExecutionBackend):
+            return spec
+        name = spec or config.DEFAULT_EXECUTOR
+        key = (name, max_workers)
+        backend = self._cache.get(key)
+        if backend is None:
+            backend = resolve_executor(name, max_workers)
+            self._cache[key] = backend
+        return backend
+
+    def close(self) -> None:
+        """Shut down every backend this selector created."""
+        for backend in self._cache.values():
+            backend.close()
+        self._cache.clear()
+
+
+__all__ = [
+    "BACKENDS",
+    "EXECUTOR_NAMES",
+    "ExecutionBackend",
+    "ExecutorSelector",
+    "ExecutorSpec",
+    "ExecutorStats",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "resolve_executor",
+]

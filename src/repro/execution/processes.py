@@ -1,0 +1,81 @@
+"""The process-pool backend: true multi-core parallelism.
+
+Task payloads cross a process boundary, so the function and every
+payload must pickle.  The engines build their payloads from plain data
+(records, factories that are module-level classes, frozen cost-model
+dataclasses) precisely so this backend can ship them; anything that
+doesn't pickle — a lambda factory, a closure, an open store handle —
+makes the batch fall back to in-process execution rather than fail,
+which keeps results identical and merely forfeits the speedup (the
+``stats.inproc_fallbacks`` counter records it).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional
+
+from repro.execution.base import ExecutionBackend
+
+
+class ProcessBackend(ExecutionBackend):
+    """Executes task batches on a lazily created process pool."""
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _run_batch(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: List[Any],
+        picklable: bool,
+    ) -> List[Any]:
+        if not picklable or len(payloads) == 1 or not self._can_ship(fn, payloads[0]):
+            self.stats.inproc_fallbacks += 1
+            return self._run_inline(fn, payloads)
+        chunksize = max(1, len(payloads) // (self.max_workers * 4))
+        try:
+            return list(self._ensure_pool().map(fn, payloads, chunksize=chunksize))
+        except (BrokenProcessPool, pickle.PicklingError, AttributeError, TypeError):
+            # A worker died (OOM, signal) or a later payload in a batch
+            # the probe approved turned out unpicklable.  Task functions
+            # are pure, so recovering the whole batch in-process is safe;
+            # drop the (possibly broken) pool so it rebuilds lazily.
+            self.close()
+            self.stats.inproc_fallbacks += 1
+            return self._run_inline(fn, payloads)
+
+    @staticmethod
+    def _can_ship(fn: Callable[[Any], Any], sample_payload: Any) -> bool:
+        """Probe-pickle the task before committing it to the pool.
+
+        A pickling failure inside ``pool.map`` can break futures or the
+        pool, so the common failure modes (lambda factory, closure-
+        holding algorithm) are caught up front.  Engine batches are
+        homogeneous, so one representative payload is probed rather than
+        the whole batch — a rare payload-specific failure deeper in the
+        batch is still recovered by the except clause in ``_run_batch``.
+        """
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(sample_payload)
+        except Exception:
+            return False
+        return True
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

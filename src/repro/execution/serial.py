@@ -1,0 +1,31 @@
+"""The serial backend: run every task inline on the calling thread.
+
+This is the default and the reference semantics — parallel backends must
+produce results indistinguishable from this one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.execution.base import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """Executes tasks one after another in the calling thread."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: int = 1) -> None:
+        # max_workers is accepted (and ignored) so every backend shares
+        # one constructor signature.
+        super().__init__()
+        self.max_workers = 1
+
+    def _run_batch(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: List[Any],
+        picklable: bool,
+    ) -> List[Any]:
+        return self._run_inline(fn, payloads)

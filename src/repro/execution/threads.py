@@ -1,0 +1,52 @@
+"""The thread-pool backend.
+
+Tasks run on a shared :class:`concurrent.futures.ThreadPoolExecutor`.
+Python threads share the interpreter, so payloads need not be picklable;
+the GIL limits speedups for pure-Python map/reduce functions but I/O and
+C-extension work (parsing, sorting large lists) overlap well, and the
+backend doubles as a concurrency-correctness check for the task
+decomposition (shared-state bugs surface here first).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, List, Optional
+
+from repro.execution.base import ExecutionBackend
+
+
+class ThreadBackend(ExecutionBackend):
+    """Executes task batches on a lazily created thread pool."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-task",
+            )
+        return self._pool
+
+    def _run_batch(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: List[Any],
+        picklable: bool,
+    ) -> List[Any]:
+        if len(payloads) == 1:
+            return self._run_inline(fn, payloads)
+        # Executor.map preserves argument order in its results.
+        return list(self._ensure_pool().map(fn, payloads))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -105,8 +105,15 @@ def run_workload(
     scale: str = "small",
     change_fraction: float = 0.10,
     seed: int = 7,
+    executor: Optional[str] = None,
 ) -> Dict[str, float]:
-    """Absolute runtimes (simulated s) of the five solutions for ``name``."""
+    """Absolute runtimes (simulated s) of the five solutions for ``name``.
+
+    ``executor`` selects the host execution backend (``"serial"`` /
+    ``"thread"`` / ``"process"``, see :mod:`repro.execution`) for every
+    solution; simulated runtimes are backend-independent, so the same
+    table comes out whichever backend ran it.
+    """
     params = scale_params(scale)
     iterations = params["iterations"]
     n = params["num_partitions"]
@@ -118,7 +125,7 @@ def run_workload(
 
     # Converged state of the previous job, shared by all solutions.
     cluster, dfs = make_cluster(num_workers=workers, seed=seed, data_scale=data_scale)
-    engine = I2MREngine(cluster, dfs)
+    engine = I2MREngine(cluster, dfs, executor=executor)
     job = IterativeJob(algorithm, old_dataset, num_partitions=n,
                        max_iterations=3 * iterations, epsilon=1e-6)
     _, preserved = engine.run_initial(job)
@@ -127,33 +134,39 @@ def run_workload(
     times: Dict[str, float] = {}
 
     cluster, dfs = make_cluster(num_workers=workers, seed=seed, data_scale=data_scale)
-    plain = PlainMRDriver(cluster, dfs).run(
+    plain_driver = PlainMRDriver(cluster, dfs, executor=executor)
+    plain = plain_driver.run(
         algorithm, new_dataset, initial_state=converged, max_iterations=iterations
     )
     times["plainmr"] = plain.total_time
+    plain_driver.close()
 
     cluster, dfs = make_cluster(num_workers=workers, seed=seed, data_scale=data_scale)
-    haloop = HaLoopDriver(cluster, dfs).run(
+    haloop_driver = HaLoopDriver(cluster, dfs, executor=executor)
+    haloop = haloop_driver.run(
         algorithm, new_dataset, initial_state=converged, max_iterations=iterations
     )
     times["haloop"] = haloop.total_time
+    haloop_driver.close()
 
     cluster, dfs = make_cluster(num_workers=workers, seed=seed, data_scale=data_scale)
     iter_job = IterativeJob(
         algorithm, new_dataset, num_partitions=n, max_iterations=iterations
     )
-    itermr = IterMREngine(cluster, dfs).run(iter_job, initial_state=converged)
+    iter_engine = IterMREngine(cluster, dfs, executor=executor)
+    itermr = iter_engine.run(iter_job, initial_state=converged)
     times["itermr"] = itermr.total_time
+    iter_engine.close()
 
     # i2MR runs process the delta from the preserved state.  Each variant
     # needs its own preserved state (the incremental run mutates it).
     for label, threshold in (("i2mr_nocpc", None), ("i2mr_cpc", CPC_THRESHOLDS[name])):
         cluster, dfs = make_cluster(num_workers=workers, seed=seed, data_scale=data_scale)
-        engine = I2MREngine(cluster, dfs)
+        variant_engine = I2MREngine(cluster, dfs, executor=executor)
         job = IterativeJob(algorithm, old_dataset, num_partitions=n,
                            max_iterations=3 * iterations, epsilon=1e-6)
-        _, prev = engine.run_initial(job)
-        result = engine.run_incremental(
+        _, prev = variant_engine.run_initial(job)
+        result = variant_engine.run_incremental(
             IterativeJob(algorithm, new_dataset, num_partitions=n,
                          max_iterations=iterations),
             delta_records,
@@ -166,8 +179,10 @@ def run_workload(
         )
         times[label] = result.total_time
         prev.cleanup()
+        variant_engine.close()
 
     preserved.cleanup()
+    engine.close()
     return times
 
 

@@ -35,6 +35,12 @@ from repro.common.hashing import map_key, partition_for
 from repro.common.kvpair import DeltaRecord, Op, sort_key
 from repro.common.sizeof import record_size
 from repro.dfs.filesystem import DistributedFS
+from repro.execution import (
+    ExecutionBackend,
+    ExecutorSelector,
+    ExecutorSpec,
+    SerialBackend,
+)
 from repro.incremental.state import PolicyFactory, PreservedJobState
 from repro.inciter.cpc import ChangePropagationControl
 from repro.inciter.state import PreservedIterState
@@ -52,6 +58,70 @@ from repro.mrbgraph.graph import DeltaEdge, Edge
 
 #: Encoded overhead of the +/- op marker on a delta edge.
 _OP_BYTES = 2
+
+#: Fallback backend when no executor is supplied.
+_SERIAL_BACKEND = SerialBackend()
+
+
+@dataclass
+class DeltaStateMapPayload:
+    """One delta-state map task (iteration j >= 2, §5.1)."""
+
+    partition: int
+    #: ``(DK, DV_changed, [(SK, SV), ...])`` for the changed state keys
+    #: whose structure groups live in this partition.
+    groups: List[Tuple[Any, Any, List[Tuple[Any, Any]]]]
+    algorithm: Any
+    num_partitions: int
+
+
+@dataclass
+class DeltaStateMapRun:
+    """Replacement MRBGraph edges emitted by one delta-state map task."""
+
+    partition: int
+    #: reduce partition q -> ``[(K2, DeltaEdge), ...]`` in emission order.
+    per_q: Dict[int, List[Tuple[Any, "DeltaEdge"]]]
+    edge_bytes_per_q: Dict[int, int]
+    read_bytes: int
+    emitted: int
+    emitted_bytes: int
+    pairs_done: int
+
+
+def execute_delta_state_map_task(payload: DeltaStateMapPayload) -> DeltaStateMapRun:
+    """Map the structure kv-pairs hit by changed state; pure function."""
+    algorithm = payload.algorithm
+    n = payload.num_partitions
+    per_q: Dict[int, List[Tuple[Any, DeltaEdge]]] = {}
+    edge_bytes_per_q: Dict[int, int] = {}
+    read_bytes = 0
+    emitted = 0
+    emitted_bytes = 0
+    pairs_done = 0
+    for dk, dv, pairs in payload.groups:
+        read_bytes += record_size(dk, dv)
+        for sk, sv in pairs:
+            read_bytes += record_size(sk, sv)
+            mk = map_key(sk, sv)
+            outs = algorithm.map_instance(sk, sv, dk, dv)
+            pairs_done += 1
+            emitted += len(outs)
+            for k2, v2 in outs:
+                q = partition_for(k2, n)
+                per_q.setdefault(q, []).append((k2, DeltaEdge(mk, v2, Op.INSERT)))
+                nbytes = record_size(k2, v2) + MK_BYTES + _OP_BYTES
+                edge_bytes_per_q[q] = edge_bytes_per_q.get(q, 0) + nbytes
+                emitted_bytes += nbytes
+    return DeltaStateMapRun(
+        partition=payload.partition,
+        per_q=per_q,
+        edge_bytes_per_q=edge_bytes_per_q,
+        read_bytes=read_bytes,
+        emitted=emitted,
+        emitted_bytes=emitted_bytes,
+        pairs_done=pairs_done,
+    )
 
 
 @dataclass
@@ -109,11 +179,23 @@ class I2MREngine:
         dfs: DistributedFS,
         policy_factory: Optional[PolicyFactory] = None,
         store_root: Optional[str] = None,
+        executor: ExecutorSpec = None,
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs
         self.policy_factory = policy_factory
         self.store_root = store_root
+        self.executors = ExecutorSelector(executor)
+
+    def backend_for(self, job: IterativeJob) -> ExecutionBackend:
+        """The execution backend this job's task batches run on."""
+        return self.executors.get(
+            getattr(job, "executor", None), getattr(job, "max_workers", None)
+        )
+
+    def close(self) -> None:
+        """Shut down any host worker pools the engine created."""
+        self.executors.close()
 
     # ------------------------------------------------------------------ #
     # initial converged run                                              #
@@ -154,13 +236,15 @@ class I2MREngine:
 
         metrics = JobMetrics()
         metrics.times.startup = cost.job_startup_s + preprocess_s
+        backend = self.backend_for(job)
         per_iteration: List[IterationStats] = []
         converged = False
         iterations = 0
         last_chunks = None
         for it in range(job.max_iterations):
             result = run_full_iteration(
-                algorithm, parts, state, self.cluster, capture_chunks=True
+                algorithm, parts, state, self.cluster, capture_chunks=True,
+                executor=backend,
             )
             state = result.new_state
             last_chunks = result.chunks
@@ -248,6 +332,7 @@ class I2MREngine:
         )
         metrics.counters.add("delta_structure_records", len(delta_records))
 
+        backend = self.backend_for(job)
         mrbg_on = options.mrbg_enabled and prev.stores_valid
         mrbg_disabled_at: Optional[int] = None if mrbg_on else 0
         per_iteration: List[IterationStats] = []
@@ -262,7 +347,9 @@ class I2MREngine:
                 if it == 0:
                     self._apply_delta_to_structure(algorithm, parts, delta_records)
                     self._reconcile_state_keys(algorithm, parts, state)
-                full = run_full_iteration(algorithm, parts, state, self.cluster)
+                full = run_full_iteration(
+                    algorithm, parts, state, self.cluster, executor=backend
+                )
                 state = full.new_state
                 metrics.times.add(full.times)
                 metrics.counters.merge(full.counters)
@@ -288,7 +375,7 @@ class I2MREngine:
 
             stats = self._incremental_iteration(
                 job, prev, state, delta_state, delta_records if it == 0 else None,
-                cpc, options, it
+                cpc, options, it, backend,
             )
             metrics.times.add(stats.times)
             metrics.counters.merge(stats.counters)
@@ -333,6 +420,7 @@ class I2MREngine:
         cpc: ChangePropagationControl,
         options: I2MROptions,
         iteration: int,
+        backend: Optional[ExecutionBackend] = None,
     ) -> "_IterOutcome":
         algorithm = job.algorithm
         cost = self.cluster.cost_model
@@ -357,7 +445,7 @@ class I2MREngine:
         else:
             self._map_delta_state(
                 algorithm, parts, state, delta_state, delta_edges, edge_bytes,
-                map_loads, counters,
+                map_loads, counters, backend,
             )
         times.map = max(map_loads) if map_loads else 0.0
 
@@ -597,9 +685,15 @@ class I2MREngine:
         edge_bytes: List[int],
         map_loads: List[float],
         counters: Counters,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         """Iteration j ≥ 2: map the structure kv-pairs whose interdependent
-        state kv-pair changed (§5.1)."""
+        state kv-pair changed (§5.1).
+
+        These map tasks are pure (the structure is not mutated in state
+        iterations), so the batch runs on the job's execution backend;
+        emissions merge in partition order.
+        """
         cost = self.cluster.cost_model
         n = parts.num_partitions
         workers = self.cluster.num_workers
@@ -616,32 +710,33 @@ class I2MREngine:
                 if dk in parts.groups[p]:
                     per_partition.setdefault(p, []).append((dk, dv))
 
+        payloads = [
+            DeltaStateMapPayload(
+                partition=p,
+                groups=[
+                    (dk, dv, list(parts.groups[p].get(dk, ())))
+                    for dk, dv in dk_list
+                ],
+                algorithm=algorithm,
+                num_partitions=n,
+            )
+            for p, dk_list in sorted(per_partition.items())
+        ]
+        runner = backend or _SERIAL_BACKEND
+        runs = runner.run_tasks(execute_delta_state_map_task, payloads)
+
         instances = 0
-        for p, dk_list in per_partition.items():
-            read_bytes = 0
-            emitted = 0
-            emitted_bytes = 0
-            pairs_done = 0
-            for dk, dv in dk_list:
-                read_bytes += record_size(dk, dv)
-                for sk, sv in parts.groups[p].get(dk, ()):
-                    read_bytes += record_size(sk, sv)
-                    mk = map_key(sk, sv)
-                    outs = algorithm.map_instance(sk, sv, dk, dv)
-                    pairs_done += 1
-                    emitted += len(outs)
-                    for k2, v2 in outs:
-                        q = partition_for(k2, n)
-                        delta_edges[q].append((k2, DeltaEdge(mk, v2, Op.INSERT)))
-                        nbytes = record_size(k2, v2) + MK_BYTES + _OP_BYTES
-                        edge_bytes[q] += nbytes
-                        emitted_bytes += nbytes
-            task_cost = cost.disk_read_time(read_bytes)
-            task_cost += cost.cpu_time(pairs_done, algorithm.map_cpu_weight)
-            task_cost += cost.sort_time(emitted)
-            task_cost += cost.disk_write_time(emitted_bytes)
+        for run in sorted(runs, key=lambda r: r.partition):
+            p = run.partition
+            for q in sorted(run.per_q):
+                delta_edges[q].extend(run.per_q[q])
+                edge_bytes[q] += run.edge_bytes_per_q[q]
+            task_cost = cost.disk_read_time(run.read_bytes)
+            task_cost += cost.cpu_time(run.pairs_done, algorithm.map_cpu_weight)
+            task_cost += cost.sort_time(run.emitted)
+            task_cost += cost.disk_write_time(run.emitted_bytes)
             map_loads[p % workers] += task_cost
-            instances += pairs_done
+            instances += run.pairs_done
         counters.add("delta_map_instances", instances)
 
     # ------------------------------------------------------------------ #

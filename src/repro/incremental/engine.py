@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.metrics import Counters, JobMetrics
 from repro.common.errors import InvalidJobConf, JobError
@@ -34,6 +34,23 @@ from repro.mapreduce.api import Context, Mapper, Reducer
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.job import JobConf, JobResult
 from repro.mrbgraph.graph import DeltaEdge, Edge
+
+
+class WrappedMapperFactory:
+    """Picklable factory producing ``wrapper_cls(inner_factory())``.
+
+    The engine wraps user mappers per task; using a module-level factory
+    class (instead of a lambda) keeps the map payloads picklable, so the
+    process execution backend can ship them to worker processes whenever
+    the user's own factory pickles.
+    """
+
+    def __init__(self, wrapper_cls: type, inner_factory: Callable[[], Mapper]) -> None:
+        self.wrapper_cls = wrapper_cls
+        self.inner_factory = inner_factory
+
+    def __call__(self) -> Mapper:
+        return self.wrapper_cls(self.inner_factory())
 
 
 class _MKTaggingMapper(Mapper):
@@ -175,10 +192,9 @@ class IncrMREngine(MapReduceEngine):
     def _run_initial_finegrain(
         self, jobconf: JobConf, state: PreservedJobState
     ) -> JobResult:
-        user_mapper = jobconf.mapper
         wrapped = replace(
             jobconf,
-            mapper=lambda: _MKTaggingMapper(user_mapper()),
+            mapper=WrappedMapperFactory(_MKTaggingMapper, jobconf.mapper),
             combiner=None,  # combiners would merge edges before preservation
         )
         splits = self.splits_for_inputs(jobconf.inputs)
@@ -275,10 +291,9 @@ class IncrMREngine(MapReduceEngine):
         state: PreservedJobState,
     ) -> JobResult:
         cost = self.cluster.cost_model
-        user_mapper = jobconf.mapper
         wrapped = replace(
             jobconf,
-            mapper=lambda: _DeltaMapper(user_mapper()),
+            mapper=WrappedMapperFactory(_DeltaMapper, jobconf.mapper),
             combiner=None,
             inputs=[delta_path],
         )

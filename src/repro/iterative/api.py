@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import InvalidJobConf
+from repro.execution import BACKENDS, EXECUTOR_NAMES, ExecutionBackend, ExecutorSpec
 
 
 class Dependency(enum.Enum):
@@ -65,6 +66,12 @@ class IterativeJob:
         max_iterations: iteration budget.
         epsilon: optional convergence threshold on the summed state
             difference; ``None`` runs exactly ``max_iterations``.
+        executor: host execution backend for prime Map/Reduce task
+            batches (``"serial"`` / ``"thread"`` / ``"process"``, a
+            backend instance, or ``None`` for the engine default); see
+            :mod:`repro.execution`.  Never changes results or simulated
+            times, only host wall-clock.
+        max_workers: worker cap for pool backends.
     """
 
     algorithm: Any
@@ -72,6 +79,8 @@ class IterativeJob:
     num_partitions: int = 8
     max_iterations: int = 10
     epsilon: Optional[float] = None
+    executor: ExecutorSpec = None
+    max_workers: Optional[int] = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidJobConf` on an unusable configuration."""
@@ -84,6 +93,14 @@ class IterativeJob:
         for attr in ("project", "map_instance", "reduce_instance", "difference"):
             if not callable(getattr(self.algorithm, attr, None)):
                 raise InvalidJobConf(f"algorithm lacks required method {attr}")
+        if self.executor is not None and not isinstance(self.executor, ExecutionBackend):
+            if self.executor not in BACKENDS:
+                raise InvalidJobConf(
+                    f"unknown executor {self.executor!r}; "
+                    f"expected one of {EXECUTOR_NAMES}"
+                )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise InvalidJobConf("max_workers must be positive")
 
 
 @dataclass

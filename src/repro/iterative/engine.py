@@ -27,6 +27,12 @@ from repro.common.hashing import map_key, partition_for
 from repro.common.kvpair import sort_key
 from repro.common.sizeof import record_size
 from repro.dfs.filesystem import DistributedFS
+from repro.execution import (
+    ExecutionBackend,
+    ExecutorSelector,
+    ExecutorSpec,
+    SerialBackend,
+)
 from repro.iterative.api import Dependency, IterationStats, IterativeJob
 from repro.iterative.partitioning import (
     PartitionedStructure,
@@ -40,6 +46,136 @@ from repro.iterative.partitioning import (
 #: MRBGraph is being maintained (§3.3: "transfers the globally unique MK
 #: along with <K2, V2> during the shuffle phase").
 MK_BYTES = 9
+
+#: Fallback backend when no executor is supplied.
+_SERIAL = SerialBackend()
+
+
+# ---------------------------------------------------------------------- #
+# prime task payloads + task functions (module-level so they pickle)     #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class IterMapPayload:
+    """One prime Map task: a partition's structure groups + state slice."""
+
+    partition: int
+    #: ``(DK, [(SK, SV), ...])`` groups in DK-sorted order.
+    groups: List[Tuple[Any, List[Tuple[Any, Any]]]]
+    #: state values for exactly the DKs appearing in ``groups``.
+    state_slice: Dict[Any, Any]
+    algorithm: Any
+    num_partitions: int
+    capture_chunks: bool
+
+
+@dataclass
+class IterMapRun:
+    """Emissions of one prime Map task, pre-bucketed by reduce partition."""
+
+    partition: int
+    #: reduce partition q -> emitted ``(K2, MK, V2)`` in emission order.
+    per_q: Dict[int, List[Tuple[Any, int, Any]]]
+    emitted: int
+    emitted_bytes: int
+
+
+def execute_iter_map_task(payload: IterMapPayload) -> IterMapRun:
+    """Run one prime Map task; pure function of its payload."""
+    algorithm = payload.algorithm
+    n = payload.num_partitions
+    per_q: Dict[int, List[Tuple[Any, int, Any]]] = {}
+    emitted = 0
+    emitted_bytes = 0
+    for dk, pairs in payload.groups:
+        dv = payload.state_slice.get(dk)
+        if dv is None:
+            dv = algorithm.init_state_value(dk)
+        for sk, sv in pairs:
+            mk = map_key(sk, sv) if payload.capture_chunks else 0
+            for k2, v2 in algorithm.map_instance(sk, sv, dk, dv):
+                q = partition_for(k2, n)
+                per_q.setdefault(q, []).append((k2, mk, v2))
+                emitted += 1
+                emitted_bytes += record_size(k2, v2)
+    if payload.capture_chunks:
+        emitted_bytes += emitted * MK_BYTES
+    return IterMapRun(
+        partition=payload.partition,
+        per_q=per_q,
+        emitted=emitted,
+        emitted_bytes=emitted_bytes,
+    )
+
+
+@dataclass
+class IterReducePayload:
+    """One prime Reduce task: a partition's shuffled records + key plan."""
+
+    partition: int
+    #: shuffled ``(K2, MK, V2)`` records, unsorted.
+    records: List[Tuple[Any, int, Any]]
+    algorithm: Any
+    #: state keys owed a Reduce instance even with empty input
+    #: (co-partitioned algorithms only; empty when state is replicated).
+    extra_keys: List[Any]
+    replicated: bool
+    capture_chunks: bool
+
+
+@dataclass
+class IterReduceRun:
+    """Outputs of one prime Reduce task."""
+
+    partition: int
+    outputs: List[Tuple[Any, Any]]
+    #: K2-sorted ``[(K2, [(MK, V2), ...])]`` — only with capture_chunks.
+    chunk_list: Optional[List[Tuple[Any, List[Tuple[int, Any]]]]]
+    values_processed: int
+    out_bytes: int
+
+
+def execute_iter_reduce_task(payload: IterReducePayload) -> IterReduceRun:
+    """Run one prime Reduce task; pure function of its payload."""
+    algorithm = payload.algorithm
+    records = sorted(payload.records, key=lambda rec: sort_key(rec[0]))
+    grouped: Dict[Any, List[Tuple[int, Any]]] = {}
+    for k2, mk, v2 in records:
+        grouped.setdefault(k2, []).append((mk, v2))
+
+    if payload.replicated:
+        reduce_keys = sorted(grouped, key=sort_key)
+    else:
+        # Every state kv-pair of this partition gets a Reduce instance
+        # (empty-input groups produce the algorithm's base value), plus
+        # any brand-new K2s that received contributions.
+        key_set = set(payload.extra_keys)
+        key_set.update(grouped)
+        reduce_keys = sorted(key_set, key=sort_key)
+
+    outputs: List[Tuple[Any, Any]] = []
+    chunk_list: Optional[List[Tuple[Any, List[Tuple[int, Any]]]]] = (
+        [] if payload.capture_chunks else None
+    )
+    values_processed = 0
+    out_bytes = 0
+    for k2 in reduce_keys:
+        entries = grouped.get(k2, [])
+        values = [v2 for _, v2 in entries]
+        dv_new = algorithm.reduce_instance(k2, values)
+        outputs.append((k2, dv_new))
+        values_processed += len(values) + 1
+        out_bytes += record_size(k2, dv_new)
+        if payload.capture_chunks and entries:
+            chunk_list.append((k2, entries))
+    return IterReduceRun(
+        partition=payload.partition,
+        outputs=outputs,
+        chunk_list=chunk_list,
+        values_processed=values_processed,
+        out_bytes=out_bytes,
+    )
 
 
 @dataclass
@@ -63,13 +199,17 @@ def run_full_iteration(
     cluster: Cluster,
     capture_chunks: bool = False,
     fault_context: Optional[Any] = None,
+    executor: Optional[ExecutionBackend] = None,
 ) -> FullIterationResult:
     """Execute one complete iteration over every structure kv-pair.
 
     Runs the real map/reduce functions and charges per-stage simulated
     time.  With ``capture_chunks`` the per-Reduce-instance edge lists
     (the MRBGraph chunks) are returned and the MK shuffle overhead is
-    charged.
+    charged.  Prime Map and prime Reduce task batches run on
+    ``executor`` (default: inline serial); results are merged in
+    partition order, so everything but host wall-clock is
+    backend-independent.
     """
     cost = cluster.cost_model
     n = parts.num_partitions
@@ -77,6 +217,7 @@ def run_full_iteration(
     counters = Counters()
     times = StageTimes()
     replicated = parts.replicated_state
+    backend = executor or _SERIAL
 
     state_sizes = state_bytes_by_partition(state, n, replicated)
 
@@ -85,30 +226,37 @@ def run_full_iteration(
     intermediate: List[List[Tuple[Any, int, Any]]] = [[] for _ in range(n)]
     map_loads = [0.0] * workers
     map_task_costs: List[float] = []
+
+    map_payloads: List[IterMapPayload] = []
     for p in range(n):
-        emitted = 0
-        emitted_bytes = 0
-        for dk, pairs in parts.iter_groups(p):
-            dv = state.get(dk)
-            if dv is None:
-                dv = algorithm.init_state_value(dk)
-            for sk, sv in pairs:
-                mk = map_key(sk, sv) if capture_chunks else 0
-                for k2, v2 in algorithm.map_instance(sk, sv, dk, dv):
-                    q = partition_for(k2, n)
-                    intermediate[q].append((k2, mk, v2))
-                    emitted += 1
-                    emitted_bytes += record_size(k2, v2)
-        if capture_chunks:
-            emitted_bytes += emitted * MK_BYTES
+        group_items = list(parts.iter_groups(p))
+        state_slice = {
+            dk: state[dk] for dk, _ in group_items if dk in state
+        }
+        map_payloads.append(
+            IterMapPayload(
+                partition=p,
+                groups=group_items,
+                state_slice=state_slice,
+                algorithm=algorithm,
+                num_partitions=n,
+                capture_chunks=capture_chunks,
+            )
+        )
+    map_runs = backend.run_tasks(execute_iter_map_task, map_payloads)
+
+    for run in sorted(map_runs, key=lambda r: r.partition):
+        p = run.partition
+        for q in sorted(run.per_q):
+            intermediate[q].extend(run.per_q[q])
         task_cost = cost.disk_read_time(parts.structure_bytes[p] + state_sizes[p])
         task_cost += cost.cpu_time(parts.num_pairs[p], algorithm.map_cpu_weight)
-        task_cost += cost.sort_time(emitted)
-        task_cost += cost.disk_write_time(emitted_bytes)
+        task_cost += cost.sort_time(run.emitted)
+        task_cost += cost.disk_write_time(run.emitted_bytes)
         map_loads[p % workers] += task_cost
         map_task_costs.append(task_cost)
-        counters.add("map_output_records", emitted)
-        counters.add("map_output_bytes", emitted_bytes)
+        counters.add("map_output_records", run.emitted)
+        counters.add("map_output_bytes", run.emitted_bytes)
     counters.add("map_input_pairs", parts.total_pairs())
     times.map = max(map_loads)
 
@@ -136,9 +284,10 @@ def run_full_iteration(
     times.shuffle = max(shuffle_loads)
 
     # ------------------------------ sort ------------------------------ #
+    # The physical sort happens inside each reduce task; the cost is
+    # charged here per partition so the stage split matches Fig 9.
     sort_loads = [0.0] * workers
     for q in range(n):
-        intermediate[q].sort(key=lambda rec: sort_key(rec[0]))
         sort_s = cost.sort_time(len(intermediate[q]))
         sort_loads[q % workers] += sort_s
         reduce_task_costs[q] += sort_s
@@ -158,41 +307,31 @@ def run_full_iteration(
         for dk in state:
             state_keys_by_part[partition_for(dk, n)].append(dk)
 
-    for q in range(n):
-        grouped: Dict[Any, List[Tuple[int, Any]]] = {}
-        for k2, mk, v2 in intermediate[q]:
-            grouped.setdefault(k2, []).append((mk, v2))
+    reduce_payloads = [
+        IterReducePayload(
+            partition=q,
+            records=intermediate[q],
+            algorithm=algorithm,
+            extra_keys=state_keys_by_part[q],
+            replicated=replicated,
+            capture_chunks=capture_chunks,
+        )
+        for q in range(n)
+    ]
+    reduce_runs = backend.run_tasks(execute_iter_reduce_task, reduce_payloads)
 
-        if replicated:
-            reduce_keys = sorted(grouped, key=sort_key)
-        else:
-            # Every state kv-pair of this partition gets a Reduce instance
-            # (empty-input groups produce the algorithm's base value), plus
-            # any brand-new K2s that received contributions.
-            key_set = set(state_keys_by_part[q])
-            key_set.update(grouped)
-            reduce_keys = sorted(key_set, key=sort_key)
+    for run in sorted(reduce_runs, key=lambda r: r.partition):
+        q = run.partition
+        outputs.extend(run.outputs)
+        if capture_chunks:
+            chunks[q] = run.chunk_list
 
-        part_outputs: List[Tuple[Any, Any]] = []
-        values_processed = 0
-        out_bytes = 0
-        for k2 in reduce_keys:
-            entries = grouped.get(k2, [])
-            values = [v2 for _, v2 in entries]
-            dv_new = algorithm.reduce_instance(k2, values)
-            part_outputs.append((k2, dv_new))
-            values_processed += len(values) + 1
-            out_bytes += record_size(k2, dv_new)
-            if capture_chunks and entries:
-                chunks[q].append((k2, entries))
-        outputs.extend(part_outputs)
-
-        task_cost = cost.cpu_time(values_processed, algorithm.reduce_cpu_weight)
-        task_cost += cost.disk_write_time(out_bytes)
+        task_cost = cost.cpu_time(run.values_processed, algorithm.reduce_cpu_weight)
+        task_cost += cost.disk_write_time(run.out_bytes)
         reduce_loads[q % workers] += task_cost
         reduce_task_costs[q] += task_cost
-        counters.add("reduce_groups", len(reduce_keys))
-        counters.add("reduce_values", values_processed)
+        counters.add("reduce_groups", len(run.outputs))
+        counters.add("reduce_values", run.values_processed)
 
     # Fold outputs into the state and measure the total change.
     if replicated:
@@ -254,11 +393,30 @@ class IterMRResult:
 
 
 class IterMREngine:
-    """Runs :class:`IterativeJob` computations with the §4 optimizations."""
+    """Runs :class:`IterativeJob` computations with the §4 optimizations.
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
+    Args:
+        executor: engine-wide default host execution backend; individual
+            jobs override it via ``IterativeJob.executor``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFS,
+        executor: ExecutorSpec = None,
+    ) -> None:
         self.cluster = cluster
         self.dfs = dfs
+        self.executors = ExecutorSelector(executor)
+
+    def backend_for(self, job: IterativeJob) -> ExecutionBackend:
+        """The execution backend this job's prime task batches run on."""
+        return self.executors.get(job.executor, job.max_workers)
+
+    def close(self) -> None:
+        """Shut down any host worker pools the engine created."""
+        self.executors.close()
 
     def run(
         self,
@@ -314,6 +472,7 @@ class IterMREngine:
         if charge_preprocess:
             metrics.times.startup += preprocess_s
 
+        backend = self.backend_for(job)
         per_iteration: List[IterationStats] = []
         converged = False
         iterations = 0
@@ -324,6 +483,7 @@ class IterMREngine:
                 state,
                 self.cluster,
                 fault_context=fault_context,
+                executor=backend,
             )
             state = result.new_state
             iterations = it + 1

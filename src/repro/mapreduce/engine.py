@@ -13,6 +13,14 @@ charges simulated time per the cluster cost model:
 
 The phases are exposed individually (``map_phase`` / ``reduce_phase``) so
 the incremental and iterative engines can recompose them.
+
+Task batches are dispatched through a pluggable host execution backend
+(:mod:`repro.execution`): each map/reduce task is a self-contained,
+picklable payload executed by a module-level function, and per-task
+results (partitions, counters, byte counts) are merged deterministically
+in task-index order after the batch completes.  Simulated cluster time
+is computed from the merged results in the parent, so it is identical
+whether tasks ran serially, on threads or on processes.
 """
 
 from __future__ import annotations
@@ -27,8 +35,9 @@ from repro.cluster.scheduler import TaskSpec, schedule_stage
 from repro.common.kvpair import group_sorted, sort_key
 from repro.common.sizeof import record_size
 from repro.dfs.filesystem import Block, DistributedFS
-from repro.mapreduce.api import Context, Mapper, Reducer
-from repro.mapreduce.job import JobConf, JobResult
+from repro.execution import ExecutorSelector, ExecutorSpec
+from repro.mapreduce.api import Context, Mapper, Partitioner, Reducer
+from repro.mapreduce.job import JobConf, JobResult, MapperFactory, ReducerFactory
 
 #: A source of map input: records plus their physical placement metadata.
 @dataclass
@@ -81,12 +90,196 @@ class ReducePhaseResult:
     counters: Counters
 
 
-class MapReduceEngine:
-    """Runs :class:`JobConf` jobs on a simulated cluster."""
+# ---------------------------------------------------------------------- #
+# task payloads + task functions (module-level so they pickle)           #
+# ---------------------------------------------------------------------- #
 
-    def __init__(self, cluster: Cluster, dfs: DistributedFS) -> None:
+
+@dataclass
+class MapTaskPayload:
+    """Everything one map task needs, free of engine references."""
+
+    task_index: int
+    mapper_factory: MapperFactory
+    records: Sequence[Tuple[Any, Any]]
+    size_bytes: int
+    num_reducers: int
+    partitioner: Partitioner
+    combiner_factory: Optional[ReducerFactory] = None
+
+
+@dataclass
+class MapTaskRun:
+    """What one map task hands back to the engine."""
+
+    task_index: int
+    partitions: Dict[int, List[Tuple[Any, Any]]]
+    partition_bytes: Dict[int, int]
+    counters: Counters
+    #: pre-combiner emission count (what the map-side sort is charged on).
+    emitted_records: int
+    cpu_weight: float
+
+
+def execute_map_task(payload: MapTaskPayload) -> MapTaskRun:
+    """Run one map task: map every record, partition + sort + combine.
+
+    Pure function of its payload — no engine or cluster state — so any
+    :class:`repro.execution.ExecutionBackend` may run it anywhere.
+    """
+    counters = Counters()
+    mapper = payload.mapper_factory()
+    ctx = Context()
+    mapper.setup(ctx)
+    for key, value in payload.records:
+        mapper.map(key, value, ctx)
+    mapper.cleanup(ctx)
+    emitted = ctx.take()
+    counters.merge(ctx.counters)
+    counters.add("map_input_records", len(payload.records))
+    counters.add("map_input_bytes", payload.size_bytes)
+    counters.add("map_output_records", len(emitted))
+
+    partitions, partition_bytes = partition_and_sort(
+        emitted,
+        payload.num_reducers,
+        payload.partitioner,
+        payload.combiner_factory,
+        counters,
+    )
+    counters.add("map_spill_bytes", sum(partition_bytes.values()))
+    return MapTaskRun(
+        task_index=payload.task_index,
+        partitions=partitions,
+        partition_bytes=partition_bytes,
+        counters=counters,
+        emitted_records=len(emitted),
+        cpu_weight=mapper.cpu_weight,
+    )
+
+
+def partition_and_sort(
+    emitted: List[Tuple[Any, Any]],
+    num_reducers: int,
+    partitioner: Partitioner,
+    combiner_factory: Optional[ReducerFactory],
+    counters: Counters,
+) -> Tuple[Dict[int, List[Tuple[Any, Any]]], Dict[int, int]]:
+    """Map-side spill: partition, key-sort and (optionally) combine."""
+    partitions: Dict[int, List[Tuple[Any, Any]]] = {}
+    for key, value in emitted:
+        part = partitioner(key, num_reducers)
+        partitions.setdefault(part, []).append((key, value))
+    partition_bytes: Dict[int, int] = {}
+    for part, pairs in partitions.items():
+        pairs.sort(key=lambda kv: sort_key(kv[0]))
+        if combiner_factory is not None:
+            pairs = _apply_combiner(combiner_factory, pairs, counters)
+            partitions[part] = pairs
+        partition_bytes[part] = sum(record_size(k, v) for k, v in pairs)
+    return partitions, partition_bytes
+
+
+def _apply_combiner(
+    combiner_factory: ReducerFactory,
+    pairs: List[Tuple[Any, Any]],
+    counters: Counters,
+) -> List[Tuple[Any, Any]]:
+    combiner = combiner_factory()
+    ctx = Context()
+    combiner.setup(ctx)
+    for key, values in group_sorted(pairs):
+        combiner.reduce(key, values, ctx)
+    combiner.cleanup(ctx)
+    combined = ctx.take()
+    combined.sort(key=lambda kv: sort_key(kv[0]))
+    counters.add("combine_input_records", len(pairs))
+    counters.add("combine_output_records", len(combined))
+    return combined
+
+
+@dataclass
+class ReduceTaskPayload:
+    """Everything one reduce task needs after the shuffle was planned."""
+
+    partition: int
+    runs: List[List[Tuple[Any, Any]]]
+    reducer_factory: ReducerFactory
+    #: optional per-group callback; forces in-process serial execution
+    #: because it mutates caller state (see :meth:`reduce_phase`).
+    group_sink: Optional[Callable[[int, Any, List[Any]], None]] = None
+
+
+@dataclass
+class ReduceTaskRun:
+    """What one reduce task hands back to the engine."""
+
+    partition: int
+    emitted: List[Tuple[Any, Any]]
+    counters: Counters
+    merged_records: int
+    out_bytes: int
+    cpu_weight: float
+
+
+def execute_reduce_task(payload: ReduceTaskPayload) -> ReduceTaskRun:
+    """Run one reduce task: merge sorted runs, group, reduce."""
+    counters = Counters()
+    merged = list(heapq.merge(*payload.runs, key=lambda kv: sort_key(kv[0])))
+    counters.add("reduce_input_records", len(merged))
+
+    reducer = payload.reducer_factory()
+    ctx = Context()
+    reducer.setup(ctx)
+    groups = 0
+    for key, values in group_sorted(merged):
+        groups += 1
+        if payload.group_sink is not None:
+            payload.group_sink(payload.partition, key, values)
+        reducer.reduce(key, values, ctx)
+    reducer.cleanup(ctx)
+    emitted = ctx.take()
+    counters.merge(ctx.counters)
+    counters.add("reduce_input_groups", groups)
+    counters.add("reduce_output_records", len(emitted))
+    out_bytes = sum(record_size(k, v) for k, v in emitted)
+    counters.add("reduce_output_bytes", out_bytes)
+    return ReduceTaskRun(
+        partition=payload.partition,
+        emitted=emitted,
+        counters=counters,
+        merged_records=len(merged),
+        out_bytes=out_bytes,
+        cpu_weight=reducer.cpu_weight,
+    )
+
+
+class MapReduceEngine:
+    """Runs :class:`JobConf` jobs on a simulated cluster.
+
+    Args:
+        executor: engine-wide default host execution backend (name,
+            backend instance, or ``None`` for the library default);
+            individual jobs override it via ``JobConf.executor``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        dfs: DistributedFS,
+        executor: ExecutorSpec = None,
+    ) -> None:
         self.cluster = cluster
         self.dfs = dfs
+        self.executors = ExecutorSelector(executor)
+
+    def backend_for(self, jobconf: JobConf):
+        """The execution backend this job's task batches run on."""
+        return self.executors.get(jobconf.executor, jobconf.max_workers)
+
+    def close(self) -> None:
+        """Shut down any host worker pools the engine created."""
+        self.executors.close()
 
     # ------------------------------------------------------------------ #
     # public entry point                                                 #
@@ -132,44 +325,50 @@ class MapReduceEngine:
         jobconf: JobConf,
         splits: Sequence[MapInputSplit],
     ) -> MapPhaseResult:
-        """Run one map task per split; returns sorted partitioned output."""
+        """Run one map task per split; returns sorted partitioned output.
+
+        Tasks execute through the job's execution backend; results are
+        merged and costed in task-index order, so the returned phase
+        result is identical across backends.
+        """
         cost = self.cluster.cost_model
         counters = Counters()
         raw_tasks: List[MapTaskOutput] = []
         specs: List[TaskSpec] = []
 
-        for index, split in enumerate(splits):
-            mapper = jobconf.mapper()
-            ctx = Context()
-            mapper.setup(ctx)
-            for key, value in split.records:
-                mapper.map(key, value, ctx)
-            mapper.cleanup(ctx)
-            emitted = ctx.take()
-            counters.merge(ctx.counters)
-            counters.add("map_input_records", len(split.records))
-            counters.add("map_input_bytes", split.size_bytes)
-            counters.add("map_output_records", len(emitted))
-
-            partitions, partition_bytes = self._partition_and_sort(
-                emitted, jobconf, counters
+        payloads = [
+            MapTaskPayload(
+                task_index=index,
+                mapper_factory=jobconf.mapper,
+                records=split.records,
+                size_bytes=split.size_bytes,
+                num_reducers=jobconf.num_reducers,
+                partitioner=jobconf.partitioner,
+                combiner_factory=jobconf.combiner,
             )
+            for index, split in enumerate(splits)
+        ]
+        runs = self.backend_for(jobconf).run_tasks(execute_map_task, payloads)
+
+        for run in sorted(runs, key=lambda r: r.task_index):
+            index = run.task_index
+            split = splits[index]
+            counters.merge(run.counters)
 
             task_cost = cost.disk_read_time(split.size_bytes)
             if split.parse_needed:
                 task_cost += cost.parse_time(split.size_bytes)
-            task_cost += cost.cpu_time(len(split.records), jobconf.mapper().cpu_weight)
-            task_cost += cost.sort_time(len(emitted))
-            spill_bytes = sum(partition_bytes.values())
+            task_cost += cost.cpu_time(len(split.records), run.cpu_weight)
+            task_cost += cost.sort_time(run.emitted_records)
+            spill_bytes = sum(run.partition_bytes.values())
             task_cost += cost.disk_write_time(spill_bytes)
-            counters.add("map_spill_bytes", spill_bytes)
 
             raw_tasks.append(
                 MapTaskOutput(
                     task_index=index,
                     worker=-1,
-                    partitions=partitions,
-                    partition_bytes=partition_bytes,
+                    partitions=run.partitions,
+                    partition_bytes=run.partition_bytes,
                     cost_s=task_cost,
                 )
             )
@@ -196,43 +395,6 @@ class MapReduceEngine:
                 counters.add("map_remote_input_bytes", split.size_bytes)
         elapsed = max(loads) if loads else 0.0
         return MapPhaseResult(tasks=raw_tasks, elapsed_s=elapsed, counters=counters)
-
-    def _partition_and_sort(
-        self,
-        emitted: List[Tuple[Any, Any]],
-        jobconf: JobConf,
-        counters: Counters,
-    ) -> Tuple[Dict[int, List[Tuple[Any, Any]]], Dict[int, int]]:
-        partitions: Dict[int, List[Tuple[Any, Any]]] = {}
-        for key, value in emitted:
-            part = jobconf.partitioner(key, jobconf.num_reducers)
-            partitions.setdefault(part, []).append((key, value))
-        partition_bytes: Dict[int, int] = {}
-        for part, pairs in partitions.items():
-            pairs.sort(key=lambda kv: sort_key(kv[0]))
-            if jobconf.combiner is not None:
-                pairs = self._apply_combiner(jobconf, pairs, counters)
-                partitions[part] = pairs
-            partition_bytes[part] = sum(record_size(k, v) for k, v in pairs)
-        return partitions, partition_bytes
-
-    def _apply_combiner(
-        self,
-        jobconf: JobConf,
-        pairs: List[Tuple[Any, Any]],
-        counters: Counters,
-    ) -> List[Tuple[Any, Any]]:
-        combiner = jobconf.combiner()
-        ctx = Context()
-        combiner.setup(ctx)
-        for key, values in group_sorted(pairs):
-            combiner.reduce(key, values, ctx)
-        combiner.cleanup(ctx)
-        combined = ctx.take()
-        combined.sort(key=lambda kv: sort_key(kv[0]))
-        counters.add("combine_input_records", len(pairs))
-        counters.add("combine_output_records", len(combined))
-        return combined
 
     # ------------------------------------------------------------------ #
     # shuffle + sort + reduce                                            #
@@ -261,6 +423,14 @@ class MapReduceEngine:
             cached_runs: per-partition sorted runs already materialized on
                 the reduce worker's local disk (HaLoop's reducer-input
                 cache); charged as local reads instead of shuffle traffic.
+
+        Reduce tasks are dispatched through the job's execution backend
+        only when they are side-effect free; a ``group_sink`` or a
+        ``reducer_override`` typically mutates caller-owned state (MRBG
+        stores, preserved-output dicts), so those runs stay on the
+        calling thread in partition order.  Either way, results are
+        merged in partition order, keeping simulated times and counters
+        backend-independent.
         """
         cost = self.cluster.cost_model
         counters = Counters()
@@ -271,6 +441,7 @@ class MapReduceEngine:
         reduce_loads = [0.0] * self.cluster.num_workers
         outputs: Dict[int, List[Tuple[Any, Any]]] = {}
 
+        payloads: List[ReduceTaskPayload] = []
         for part in range(jobconf.num_reducers):
             worker = self.reduce_worker(part)
             runs: List[List[Tuple[Any, Any]]] = []
@@ -296,35 +467,34 @@ class MapReduceEngine:
                     counters.add("reducer_cache_bytes", nbytes)
             counters.add("shuffle_bytes", total_bytes)
             shuffle_loads[worker] += fetch_s
+            payloads.append(
+                ReduceTaskPayload(
+                    partition=part,
+                    runs=runs,
+                    reducer_factory=reducer_factory,
+                    group_sink=group_sink,
+                )
+            )
 
-            merged = list(heapq.merge(*runs, key=lambda kv: sort_key(kv[0])))
-            sort_loads[worker] += cost.sort_time(len(merged))
-            counters.add("reduce_input_records", len(merged))
+        parallel_safe = group_sink is None and reducer_override is None
+        if parallel_safe:
+            runs_out = self.backend_for(jobconf).run_tasks(
+                execute_reduce_task, payloads
+            )
+        else:
+            runs_out = [execute_reduce_task(payload) for payload in payloads]
 
-            reducer = reducer_factory()
-            ctx = Context()
-            reducer.setup(ctx)
-            groups = 0
-            for key, values in group_sorted(merged):
-                groups += 1
-                if group_sink is not None:
-                    group_sink(part, key, values)
-                reducer.reduce(key, values, ctx)
-            reducer.cleanup(ctx)
-            emitted = ctx.take()
-            counters.merge(ctx.counters)
-            counters.add("reduce_input_groups", groups)
-            counters.add("reduce_output_records", len(emitted))
-            out_bytes = sum(record_size(k, v) for k, v in emitted)
-            counters.add("reduce_output_bytes", out_bytes)
-
-            reduce_loads[worker] += cost.cpu_time(len(merged), reducer.cpu_weight)
-            reduce_loads[worker] += cost.disk_write_time(out_bytes)
+        for run in sorted(runs_out, key=lambda r: r.partition):
+            worker = self.reduce_worker(run.partition)
+            sort_loads[worker] += cost.sort_time(run.merged_records)
+            counters.merge(run.counters)
+            reduce_loads[worker] += cost.cpu_time(run.merged_records, run.cpu_weight)
+            reduce_loads[worker] += cost.disk_write_time(run.out_bytes)
             if self.dfs.replication > 1:
                 reduce_loads[worker] += cost.net_time(
-                    out_bytes * (self.dfs.replication - 1)
+                    run.out_bytes * (self.dfs.replication - 1)
                 )
-            outputs[part] = emitted
+            outputs[run.partition] = run.emitted
 
         return ReducePhaseResult(
             outputs=outputs,

@@ -7,6 +7,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.cluster.metrics import JobMetrics
 from repro.common.errors import InvalidJobConf
+from repro.execution import BACKENDS, EXECUTOR_NAMES, ExecutionBackend, ExecutorSpec
 from repro.mapreduce.api import Mapper, Partitioner, Reducer, default_partitioner
 
 MapperFactory = Callable[[], Mapper]
@@ -27,6 +28,13 @@ class JobConf:
         num_reducers: number of reduce tasks.
         combiner: optional reducer factory applied map-side per partition.
         partitioner: shuffle partition function on K2.
+        executor: host execution backend for this job's task batches —
+            a name (``"serial"`` / ``"thread"`` / ``"process"``), a live
+            :class:`repro.execution.ExecutionBackend`, or ``None`` for
+            the engine default.  Backend choice never changes outputs,
+            counters or simulated times, only host wall-clock.
+        max_workers: worker cap for pool backends (``None`` = one per
+            host CPU).
     """
 
     name: str
@@ -37,6 +45,8 @@ class JobConf:
     num_reducers: int = 4
     combiner: Optional[ReducerFactory] = None
     partitioner: Partitioner = default_partitioner
+    executor: ExecutorSpec = None
+    max_workers: Optional[int] = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidJobConf` on an unusable configuration."""
@@ -50,6 +60,14 @@ class JobConf:
             raise InvalidJobConf("num_reducers must be positive")
         if not callable(self.mapper) or not callable(self.reducer):
             raise InvalidJobConf("mapper and reducer must be factories")
+        if self.executor is not None and not isinstance(self.executor, ExecutionBackend):
+            if self.executor not in BACKENDS:
+                raise InvalidJobConf(
+                    f"unknown executor {self.executor!r}; "
+                    f"expected one of {EXECUTOR_NAMES}"
+                )
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise InvalidJobConf("max_workers must be positive")
 
 
 @dataclass

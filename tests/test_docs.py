@@ -1,0 +1,37 @@
+"""Documentation stays truthful: the docs-link check runs in the suite.
+
+The same script CI runs (``tools/check_docs_links.py``) is executed
+here, so a rename that orphans a reference in ``README.md`` or
+``docs/*.md`` fails locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_exist():
+    assert (ROOT / "README.md").is_file()
+    assert (ROOT / "docs" / "architecture.md").is_file()
+    assert (ROOT / "docs" / "experiments.md").is_file()
+
+
+def test_docs_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs_links.py")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_readme_names_real_commands():
+    """The README's test command must match ROADMAP's tier-1 line."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in readme
+    assert "pip install -e ." in readme

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Docs-link check: every module/path the docs name must exist.
+
+Scans README.md and docs/*.md for three kinds of references and fails
+when any points at nothing in the tree:
+
+- repo-relative paths (``src/repro/mapreduce/engine.py``, ``docs/...``,
+  ``benchmarks/...``, ``examples/...``, ``tests/...``);
+- dotted module names (``repro.execution``, ``repro.inciter.cpc``);
+- bare Python file names (``fig8_overall.py``) — matched against the
+  set of file names anywhere in the tree.
+
+Run from the repository root (CI does)::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DOC_GLOBS = ("README.md", "docs/*.md")
+PATH_RE = re.compile(r"\b(?:src|tests|benchmarks|examples|docs|tools)/[\w\-./]+")
+MODULE_RE = re.compile(r"\brepro(?:\.\w+)+")
+PYFILE_RE = re.compile(r"\b[\w\-]+\.py\b")
+
+
+def iter_doc_files(root: Path):
+    for pattern in DOC_GLOBS:
+        yield from sorted(root.glob(pattern))
+
+
+def check_file(doc: Path, root: Path, known_basenames: set) -> list:
+    """Return a list of ``(reference, reason)`` problems found in ``doc``."""
+    text = doc.read_text(encoding="utf-8")
+    problems = []
+
+    for ref in sorted(set(PATH_RE.findall(text))):
+        candidate = root / ref.rstrip("/.")
+        if not candidate.exists():
+            problems.append((ref, "path does not exist"))
+
+    for ref in sorted(set(MODULE_RE.findall(text))):
+        parts = ref.split(".")
+        base = root / "src" / Path(*parts)
+        if not (base.with_suffix(".py").exists() or (base / "__init__.py").exists()):
+            # Dotted references may be attribute access (repro.foo.Bar
+            # would not match MODULE_RE's \w+ against a class either, so
+            # anything failing here is a genuinely missing module).
+            problems.append((ref, "module does not exist under src/"))
+
+    for ref in sorted(set(PYFILE_RE.findall(text))):
+        if ref not in known_basenames:
+            problems.append((ref, "no file with this name anywhere in the tree"))
+
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    known_basenames = {
+        path.name
+        for path in root.rglob("*.py")
+        if ".git" not in path.parts
+    }
+    failures = 0
+    for doc in iter_doc_files(root):
+        problems = check_file(doc, root, known_basenames)
+        for ref, reason in problems:
+            print(f"{doc.relative_to(root)}: {ref!r}: {reason}")
+        failures += len(problems)
+    if failures:
+        print(f"\n{failures} broken doc reference(s)")
+        return 1
+    print("docs-link check: all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
