@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.metrics import Counters, JobMetrics
 from repro.common.hashing import stable_hash
-from repro.common.kvpair import group_sorted, sort_key
+from repro.common.kvpair import group_sorted, sort_records
 from repro.common.sizeof import record_size
 from repro.execution import ExecutorSpec
 from repro.mapreduce.api import Context
@@ -183,7 +183,7 @@ class IncoopEngine(MapReduceEngine):
             merged: List[Tuple[Any, Any]] = []
             for run in runs:
                 merged.extend(run)
-            merged.sort(key=lambda kv: sort_key(kv[0]))
+            merged = sort_records(merged)
             fp = _fingerprint(merged)
             new_state.reduce_fingerprint[part] = fp
 

@@ -19,6 +19,12 @@ KB = 1024
 MB = 1024 * 1024
 GB = 1024 * 1024 * 1024
 
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
 #: MRBG-Store dynamic read-window gap threshold ``T`` (bytes), paper §3.4.
 DEFAULT_GAP_THRESHOLD = 100 * KB
 
@@ -26,7 +32,14 @@ DEFAULT_GAP_THRESHOLD = 100 * KB
 DEFAULT_READ_CACHE_SIZE = 4 * MB
 
 #: MRBG-Store append buffer capacity (bytes) before a sequential flush.
-DEFAULT_APPEND_BUFFER_SIZE = 1 * MB
+#: Overridable via the ``REPRO_APPEND_BUFFER_SIZE`` environment variable.
+DEFAULT_APPEND_BUFFER_SIZE = _env_int("REPRO_APPEND_BUFFER_SIZE", 1 * MB)
+
+#: How many upcoming queried chunks of the same batch the MRBG-Store
+#: hands the window policy to plan a prefetching read (Algorithm 1's
+#: look-ahead over "k's index in L").  Overridable via the
+#: ``REPRO_PREFETCH_LOOKAHEAD`` environment variable.
+DEFAULT_PREFETCH_LOOKAHEAD = _env_int("REPRO_PREFETCH_LOOKAHEAD", 256)
 
 #: Change-propagation-control filter threshold default (§8.5).
 DEFAULT_FILTER_THRESHOLD = 1.0

@@ -14,7 +14,9 @@ new one, exactly as the paper prescribes.
 from __future__ import annotations
 
 import enum
-from typing import Any, Iterable, Iterator, NamedTuple, Tuple
+import heapq
+import operator as _operator
+from typing import Any, Iterable, Iterator, List, NamedTuple, Sequence, Tuple
 
 
 class Op(enum.Enum):
@@ -73,9 +75,16 @@ def sort_key(key: Any) -> Tuple:
     recursively; distinct types order by a fixed type rank.  This mirrors
     Hadoop, where keys are ordered by their serialized byte representation.
 
+    The exact-type dispatch table below short-circuits the common cases
+    (this function runs once per record on every shuffle path); subclasses
+    fall through to the isinstance chain with identical results.
+
     Raises:
         TypeError: for key types the library does not support.
     """
+    handler = _SORT_KEY_DISPATCH.get(key.__class__)
+    if handler is not None:
+        return handler(key)
     if key is None:
         return (_RANK_NONE,)
     if isinstance(key, bool):
@@ -91,9 +100,96 @@ def sort_key(key: Any) -> Tuple:
     raise TypeError(f"unsupported MapReduce key type: {type(key).__name__}")
 
 
+_SORT_KEY_DISPATCH = {
+    type(None): lambda key: (_RANK_NONE,),
+    bool: lambda key: (_RANK_BOOL, key),
+    int: lambda key: (_RANK_NUM, key),
+    float: lambda key: (_RANK_NUM, key),
+    str: lambda key: (_RANK_STR, key),
+    bytes: lambda key: (_RANK_BYTES, key),
+    tuple: lambda key: (_RANK_TUPLE, tuple(sort_key(part) for part in key)),
+}
+
+
+def record_sort_key(record: Sequence) -> Tuple:
+    """:func:`sort_key` of a record's leading element (its shuffle key)."""
+    return sort_key(record[0])
+
+
+_ITEM0 = _operator.itemgetter(0)
+_NUMERIC_KINDS = frozenset((int, float))
+_STR_ONLY = frozenset((str,))
+_BYTES_ONLY = frozenset((bytes,))
+_TUPLE_ONLY = frozenset((tuple,))
+
+
+def _natural_order_ok(keys: list) -> bool:
+    """True when Python's native ordering of ``keys`` equals sort_key order.
+
+    Holds for all-numeric (``bool`` excluded: it ranks below numbers in
+    :func:`sort_key` but compares equal to 0/1 natively), all-``str`` and
+    all-``bytes`` key sets, and for same-arity tuples whose columns
+    recursively satisfy the same condition.  The scan is a handful of
+    C-level ``set(map(type, …))`` passes — far cheaper than computing
+    :func:`sort_key` per record.
+    """
+    kinds = set(map(type, keys))
+    if kinds <= _NUMERIC_KINDS or kinds == _STR_ONLY or kinds == _BYTES_ONLY:
+        return True
+    if kinds == _TUPLE_ONLY:
+        lengths = set(map(len, keys))
+        if len(lengths) != 1:
+            return False
+        return all(
+            _natural_order_ok(list(map(_operator.itemgetter(j), keys)))
+            for j in range(lengths.pop())
+        )
+    return False
+
+
+def sort_records(records: Iterable[Sequence]) -> list:
+    """Key-sort records (``(key, ...)`` tuples), same order and stability
+    as ``sorted(records, key=record_sort_key)``.
+
+    This is the shuffle's sort: the key of each record is extracted once
+    (decorate-sort-undecorate via the sort's key array, never once per
+    comparison), and when a type scan proves native ordering matches
+    :func:`sort_key` ordering the sort runs entirely on C-level
+    comparisons with no per-record Python key call.
+    """
+    recs = records if type(records) is list else list(records)
+    if len(recs) <= 1:
+        return list(recs)
+    if _natural_order_ok(list(map(_ITEM0, recs))):
+        return sorted(recs, key=_ITEM0)
+    return sorted(recs, key=record_sort_key)
+
+
+def merge_sorted_runs(runs: Sequence[Sequence]) -> List:
+    """Merge key-sorted record runs into one key-sorted list.
+
+    Same order and stability as ``heapq.merge`` keyed by
+    :func:`record_sort_key` (ties order by run then position); when the
+    combined type scan proves native key ordering matches
+    :func:`sort_key` ordering, the merge compares keys extracted by a
+    C-level getter instead of calling :func:`sort_key` per record.
+    """
+    runs = [run for run in runs if run]
+    if not runs:
+        return []
+    if len(runs) == 1:
+        return list(runs[0])
+    all_keys: list = []
+    for run in runs:
+        all_keys.extend(map(_ITEM0, run))
+    if _natural_order_ok(all_keys):
+        return list(heapq.merge(*runs, key=_ITEM0))
+    return list(heapq.merge(*runs, key=record_sort_key))
+
+
 def sorted_by_key(pairs: Iterable[Tuple[Any, Any]]) -> list:
     """Sort ``(key, value)`` pairs by :func:`sort_key` of the key."""
-    return sorted(pairs, key=lambda kv: sort_key(kv[0]))
+    return sort_records(pairs)
 
 
 def group_sorted(pairs: Iterable[Tuple[Any, Any]]) -> Iterator[Tuple[Any, list]]:

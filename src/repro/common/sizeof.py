@@ -7,6 +7,12 @@ number of bytes a record *would* occupy in the binary format of
 estimates below match the real encoder's sizes exactly for the supported
 types, so simulated byte counts agree with what the MRBG-Store measures
 when it really encodes chunks.
+
+This module runs once per emitted intermediate record on every engine's
+hot path, so the common cases dispatch on the exact class (one dict
+lookup) instead of walking an isinstance chain, and ASCII strings are
+sized without materializing their UTF-8 encoding.  Subclasses fall
+through to the original chain with identical results.
 """
 
 from __future__ import annotations
@@ -17,8 +23,53 @@ _LEN_PREFIX = 4  # u32 length prefix on records
 _TAG = 1
 
 
+def _str_size(value: str) -> int:
+    if value.isascii():
+        return _TAG + 4 + len(value)
+    return _TAG + 4 + len(value.encode("utf-8"))
+
+
+def _seq_size(value) -> int:
+    total = _TAG + 4
+    sizes = _SIZE_DISPATCH
+    for item in value:
+        handler = sizes.get(item.__class__)
+        total += handler(item) if handler is not None else _value_size_slow(item)
+    return total
+
+
+def _dict_size(value: dict) -> int:
+    total = _TAG + 4
+    for k, v in value.items():
+        total += value_size(k) + value_size(v)
+    return total
+
+
+_SIZE_DISPATCH = {
+    type(None): lambda value: _TAG,
+    bool: lambda value: _TAG,
+    int: lambda value: _TAG + 8,
+    float: lambda value: _TAG + 8,
+    str: _str_size,
+    bytes: lambda value: _TAG + 4 + len(value),
+    tuple: _seq_size,
+    list: _seq_size,
+    dict: _dict_size,
+}
+
+#: Constant-size scalar classes, pre-resolved for :func:`record_size`.
+_SCALAR_SIZES = {type(None): _TAG, bool: _TAG, int: _TAG + 8, float: _TAG + 8}
+
+
 def value_size(value: Any) -> int:
     """Exact encoded size in bytes of ``value`` under the binary format."""
+    handler = _SIZE_DISPATCH.get(value.__class__)
+    if handler is not None:
+        return handler(value)
+    return _value_size_slow(value)
+
+
+def _value_size_slow(value: Any) -> int:
     if value is None or value is True or value is False:
         return _TAG
     if isinstance(value, bool):  # numpy bools etc. fall through to here
@@ -28,7 +79,7 @@ def value_size(value: Any) -> int:
     if isinstance(value, float):
         return _TAG + 8
     if isinstance(value, str):
-        return _TAG + 4 + len(value.encode("utf-8"))
+        return _str_size(value)
     if isinstance(value, bytes):
         return _TAG + 4 + len(value)
     if isinstance(value, (tuple, list)):
@@ -47,7 +98,14 @@ def value_size(value: Any) -> int:
 
 def record_size(key: Any, value: Any) -> int:
     """Encoded size of a ``(key, value)`` record (length prefix included)."""
-    return _LEN_PREFIX + _TAG + 4 + value_size(key) + value_size(value)
+    sizes = _SCALAR_SIZES
+    key_size = sizes.get(key.__class__)
+    if key_size is None:
+        key_size = value_size(key)
+    val_size = sizes.get(value.__class__)
+    if val_size is None:
+        val_size = value_size(value)
+    return _LEN_PREFIX + _TAG + 4 + key_size + val_size
 
 
 def records_size(pairs: Iterable[Tuple[Any, Any]]) -> int:

@@ -32,7 +32,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import Counters, JobMetrics, StageTimes
 from repro.common.errors import JobError
 from repro.common.hashing import map_key, partition_for
-from repro.common.kvpair import DeltaRecord, Op, sort_key
+from repro.common.kvpair import DeltaRecord, Op, sort_key, sort_records
 from repro.common.sizeof import record_size
 from repro.dfs.filesystem import DistributedFS
 from repro.execution import (
@@ -462,7 +462,7 @@ class I2MREngine:
                 total - local, transfers=max(1, n - 1)
             )
             counters.add("shuffle_bytes", total)
-            delta_edges[q].sort(key=lambda rec: sort_key(rec[0]))
+            delta_edges[q] = sort_records(delta_edges[q])
             sort_loads[q % workers] += cost.sort_time(len(delta_edges[q]))
             counters.add("delta_edges", len(delta_edges[q]))
         times.shuffle = max(shuffle_loads)

@@ -19,14 +19,13 @@ Reduce outputs and folds insert-only deltas in with ``accumulate``.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.metrics import Counters, JobMetrics
 from repro.common.errors import InvalidJobConf, JobError
 from repro.common.hashing import map_key
-from repro.common.kvpair import Op, group_sorted, sort_key
+from repro.common.kvpair import Op, group_sorted, merge_sorted_runs, sort_key
 from repro.common.sizeof import record_size
 from repro.incremental.api import AccumulatorReducer
 from repro.incremental.state import PreservedJobState
@@ -334,7 +333,7 @@ class IncrMREngine(MapReduceEngine):
             if not runs:
                 continue
 
-            merged = list(heapq.merge(*runs, key=lambda kv: sort_key(kv[0])))
+            merged = merge_sorted_runs(runs)
             sort_loads[worker] += cost.sort_time(len(merged))
             counters.add("delta_edges", len(merged))
 
@@ -439,7 +438,7 @@ class IncrMREngine(MapReduceEngine):
             shuffle_loads[worker] += fetch_s
             if not runs:
                 continue
-            merged = list(heapq.merge(*runs, key=lambda kv: sort_key(kv[0])))
+            merged = merge_sorted_runs(runs)
             sort_loads[worker] += cost.sort_time(len(merged))
 
             reducer = jobconf.reducer()

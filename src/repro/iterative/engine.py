@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import Counters, JobMetrics, StageTimes
 from repro.common.hashing import map_key, partition_for
-from repro.common.kvpair import sort_key
+from repro.common.kvpair import sort_key, sort_records
 from repro.common.sizeof import record_size
 from repro.dfs.filesystem import DistributedFS
 from repro.execution import (
@@ -139,7 +139,7 @@ class IterReduceRun:
 def execute_iter_reduce_task(payload: IterReducePayload) -> IterReduceRun:
     """Run one prime Reduce task; pure function of its payload."""
     algorithm = payload.algorithm
-    records = sorted(payload.records, key=lambda rec: sort_key(rec[0]))
+    records = sort_records(payload.records)
     grouped: Dict[Any, List[Tuple[int, Any]]] = {}
     for k2, mk, v2 in records:
         grouped.setdefault(k2, []).append((mk, v2))

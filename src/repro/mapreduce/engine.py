@@ -25,14 +25,13 @@ whether tasks ran serially, on threads or on processes.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import Counters, JobMetrics, StageTimes
 from repro.cluster.scheduler import TaskSpec, schedule_stage
-from repro.common.kvpair import group_sorted, sort_key
+from repro.common.kvpair import group_sorted, merge_sorted_runs, sort_records
 from repro.common.sizeof import record_size
 from repro.dfs.filesystem import Block, DistributedFS
 from repro.execution import ExecutorSelector, ExecutorSpec
@@ -172,7 +171,8 @@ def partition_and_sort(
         partitions.setdefault(part, []).append((key, value))
     partition_bytes: Dict[int, int] = {}
     for part, pairs in partitions.items():
-        pairs.sort(key=lambda kv: sort_key(kv[0]))
+        pairs = sort_records(pairs)
+        partitions[part] = pairs
         if combiner_factory is not None:
             pairs = _apply_combiner(combiner_factory, pairs, counters)
             partitions[part] = pairs
@@ -192,7 +192,7 @@ def _apply_combiner(
         combiner.reduce(key, values, ctx)
     combiner.cleanup(ctx)
     combined = ctx.take()
-    combined.sort(key=lambda kv: sort_key(kv[0]))
+    combined = sort_records(combined)
     counters.add("combine_input_records", len(pairs))
     counters.add("combine_output_records", len(combined))
     return combined
@@ -225,7 +225,7 @@ class ReduceTaskRun:
 def execute_reduce_task(payload: ReduceTaskPayload) -> ReduceTaskRun:
     """Run one reduce task: merge sorted runs, group, reduce."""
     counters = Counters()
-    merged = list(heapq.merge(*payload.runs, key=lambda kv: sort_key(kv[0])))
+    merged = merge_sorted_runs(payload.runs)
     counters.add("reduce_input_records", len(merged))
 
     reducer = payload.reducer_factory()

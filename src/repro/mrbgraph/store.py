@@ -24,7 +24,7 @@ from repro.cluster.costmodel import CostModel
 from repro.common import config
 from repro.common.errors import StoreClosedError, StoreError
 from repro.common.kvpair import sort_key
-from repro.common.serialization import decode, encode
+from repro.common.serialization import decode_many, encode_many
 from repro.mrbgraph.chunk import decode_chunk, encode_chunk
 from repro.mrbgraph.graph import DeltaEdge, Edge, apply_delta
 from repro.mrbgraph.windows import (
@@ -85,12 +85,14 @@ class MRBGStore:
         policy: Optional[WindowPolicy] = None,
         cost_model: Optional[CostModel] = None,
         append_buffer_size: int = config.DEFAULT_APPEND_BUFFER_SIZE,
+        prefetch_lookahead: int = config.DEFAULT_PREFETCH_LOOKAHEAD,
     ) -> None:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
         self.policy: WindowPolicy = policy or MultiDynamicWindowPolicy()
         self.cost_model = cost_model or CostModel()
         self.append_buffer_size = append_buffer_size
+        self.prefetch_lookahead = prefetch_lookahead
         self.metrics = StoreMetrics()
 
         self._data_path = os.path.join(directory, _DATA_FILE)
@@ -111,8 +113,10 @@ class MRBGStore:
         self._pending_deletes: List[Any] = []
         self._in_session = False
 
-        # Read-cache windows: slot -> (start_offset, bytes).
-        self._windows: Dict[int, Tuple[int, bytes]] = {}
+        # Read-cache windows: slot -> (start_offset, memoryview over the
+        # window bytes).  Cache hits decode straight out of the view, so
+        # a hit never copies window data.
+        self._windows: Dict[int, Tuple[int, memoryview]] = {}
 
         # Query plan (set by begin_merge).
         self._plan_key_slot: Dict[Any, Tuple[int, int]] = {}
@@ -129,33 +133,60 @@ class MRBGStore:
         policy: Optional[WindowPolicy] = None,
         cost_model: Optional[CostModel] = None,
     ) -> "MRBGStore":
-        """Reopen a store previously persisted with :meth:`save_index`."""
+        """Reopen a store previously persisted with :meth:`save_index`.
+
+        Reads both index layouts: the streamed format :meth:`save_index`
+        writes (a header value followed by one value per entry, decoded in
+        bulk with :func:`repro.common.serialization.decode_many`) and the
+        legacy single-dict encoding of older stores.  The physical
+        ``mrbg.idx`` read is charged to the store metrics and the cost
+        model like any other store I/O, so Table 4 accounting is complete.
+        """
         store = cls(directory, policy=policy, cost_model=cost_model)
         index_path = os.path.join(directory, _INDEX_FILE)
         if os.path.exists(index_path):
             with open(index_path, "rb") as fh:
                 raw = fh.read()
-            payload, _ = decode(raw)
-            store._num_batches = payload["num_batches"]
-            store._index = {
-                key: ChunkLocation(offset, length, batch)
-                for key, offset, length, batch in payload["entries"]
-            }
+            store.metrics.io_reads += 1
+            store.metrics.bytes_read += len(raw)
+            store.metrics.read_time_s += store.cost_model.store_read_time(len(raw))
+            values = decode_many(raw)
+            if values:
+                header = values[0]
+                if isinstance(header, dict) and "entries" in header:
+                    entries = header["entries"]  # legacy one-dict layout
+                else:
+                    entries = values[1:]
+                store._num_batches = header["num_batches"]
+                store._index = {
+                    key: ChunkLocation(offset, length, batch)
+                    for key, offset, length, batch in entries
+                }
         return store
 
     def save_index(self) -> int:
-        """Persist the hash index to disk; returns bytes written."""
+        """Persist the hash index to disk; returns bytes written.
+
+        The index is written as a stream of top-level values — a header
+        carrying ``num_batches`` and the entry count, then one
+        ``(key, offset, length, batch)`` tuple per live chunk — so
+        :meth:`open` reloads it with one bulk ``decode_many`` pass.  The
+        write is charged to the store metrics and the cost model.
+        """
         self._check_open()
-        payload = {
-            "num_batches": self._num_batches,
-            "entries": [
+        header = {"num_batches": self._num_batches, "count": len(self._index)}
+        raw = encode_many(
+            [header]
+            + [
                 (key, loc.offset, loc.length, loc.batch)
                 for key, loc in self._index.items()
-            ],
-        }
-        raw = encode(payload)
+            ]
+        )
         with open(os.path.join(self.directory, _INDEX_FILE), "wb") as fh:
             fh.write(raw)
+        self.metrics.io_writes += 1
+        self.metrics.bytes_written += len(raw)
+        self.metrics.write_time_s += self.cost_model.store_write_time(len(raw))
         return len(raw)
 
     def close(self) -> None:
@@ -256,18 +287,20 @@ class MRBGStore:
         slot = loc.batch if self.policy.per_batch_windows else 0
         window = self._windows.get(slot)
         if window is not None:
-            start, data = window
-            if start <= loc.offset and loc.offset + loc.length <= start + len(data):
+            start, view = window
+            if start <= loc.offset and loc.offset + loc.length <= start + len(view):
+                # Hit: decode lazily out of the cached window view — the
+                # chunk is sliced at its relative offset, never copied and
+                # never re-read from the start of the window.
                 self.metrics.cache_hits += 1
-                rel = loc.offset - start
-                _, entries, _ = decode_chunk(data, rel)
+                _, entries, _ = decode_chunk(view, loc.offset - start)
                 return entries
         self.metrics.cache_misses += 1
         upcoming = self._upcoming_in_batch(key, loc)
         plan = self.policy.plan(loc, upcoming, self._file_size)
-        data = self._physical_read(plan.offset, plan.nbytes)
-        self._windows[slot] = (plan.offset, data)
-        _, entries, _ = decode_chunk(data, loc.offset - plan.offset)
+        view = memoryview(self._physical_read(plan.offset, plan.nbytes))
+        self._windows[slot] = (plan.offset, view)
+        _, entries, _ = decode_chunk(view, loc.offset - plan.offset)
         return entries
 
     def _upcoming_in_batch(self, key: Any, loc: ChunkLocation) -> List[ChunkLocation]:
@@ -276,7 +309,7 @@ class MRBGStore:
             return []
         batch, position = slot
         batch_list = self._plan_batch_lists.get(batch, [])
-        return batch_list[position + 1 : position + 257]
+        return batch_list[position + 1 : position + 1 + self.prefetch_lookahead]
 
     def _physical_read(self, offset: int, nbytes: int) -> bytes:
         self._fh.seek(offset)
@@ -287,7 +320,13 @@ class MRBGStore:
         return data
 
     def put_chunk(self, key: Any, entries: List[Edge]) -> None:
-        """Stage the updated chunk for ``key`` in the append buffer."""
+        """Stage the updated chunk for ``key`` in the append buffer.
+
+        The chunk is encoded exactly once, here; that single buffer
+        carries through the append buffer, the index entry length and
+        the flushed write (``chunk_size`` exists for callers that need
+        the size without a buffer at all).
+        """
         self._check_open()
         if not self._in_session:
             raise StoreError("put_chunk outside a merge session")
@@ -375,34 +414,65 @@ class MRBGStore:
         The paper performs this "when the worker is idle" (§3.4), so its
         cost is tracked separately (``metrics.compact_time_s``) and never
         charged to a job's runtime by the engines.
+
+        The rewrite streams: live chunks are copied in K2 order into a
+        sibling temp file, coalescing physically contiguous chunks into
+        single reads and flushing the output in append-buffer-sized
+        batches, so peak memory stays bounded by the buffer sizes instead
+        of the whole data file.  The simulated cost is unchanged from the
+        full-file reconstruction the paper describes: one sequential scan
+        of the old file plus one sequential write of the live bytes.
         """
         self._check_open()
         if self._in_session:
             raise StoreError("cannot compact during a merge session")
-        self._fh.seek(0)
-        whole = self._fh.read(self._file_size)
-        compact_read_s = self.cost_model.store_read_time(len(whole))
+        compact_read_s = self.cost_model.store_read_time(self._file_size)
 
+        keys = self.keys()
+        locations = [self._index[key] for key in keys]
         new_index: Dict[Any, ChunkLocation] = {}
-        pieces: List[bytes] = []
-        offset = 0
-        for key in self.keys():
-            loc = self._index[key]
-            raw = whole[loc.offset : loc.offset + loc.length]
-            new_index[key] = ChunkLocation(offset, len(raw), 0)
-            pieces.append(raw)
-            offset += len(raw)
-        payload = b"".join(pieces)
+        out_offset = 0
+        tmp_path = self._data_path + ".compact"
+        with open(tmp_path, "wb") as out:
+            buffer = bytearray()
+            i = 0
+            while i < len(keys):
+                # Coalesce a run of chunks that are contiguous on disk in
+                # key order (one merge session appends in exactly that
+                # order, so whole batches coalesce into single reads).
+                run_start = locations[i].offset
+                run_end = run_start + locations[i].length
+                j = i + 1
+                while (
+                    j < len(keys)
+                    and locations[j].offset == run_end
+                    and run_end + locations[j].length - run_start
+                    <= self.append_buffer_size
+                ):
+                    run_end += locations[j].length
+                    j += 1
+                self._fh.seek(run_start)
+                buffer += self._fh.read(run_end - run_start)
+                for k in range(i, j):
+                    new_index[keys[k]] = ChunkLocation(
+                        out_offset, locations[k].length, 0
+                    )
+                    out_offset += locations[k].length
+                if len(buffer) >= self.append_buffer_size:
+                    out.write(buffer)
+                    buffer.clear()
+                i = j
+            if buffer:
+                out.write(buffer)
 
-        self._fh.seek(0)
-        self._fh.write(payload)
-        self._fh.truncate(len(payload))
-        self._fh.flush()
-        self._file_size = len(payload)
+        self._fh.close()
+        os.replace(tmp_path, self._data_path)
+        self._fh = open(self._data_path, "r+b")
+        self._file_size = out_offset
         self._index = new_index
         self._num_batches = 1 if new_index else 0
         self._windows.clear()
         self.metrics.compactions += 1
         self.metrics.compact_time_s += compact_read_s + self.cost_model.store_write_time(
-            len(payload)
+            out_offset
         )

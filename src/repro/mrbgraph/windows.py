@@ -29,7 +29,14 @@ from repro.common import config
 
 @dataclass(frozen=True)
 class ChunkLocation:
-    """Physical placement of one chunk version in the store file."""
+    """Physical placement of one chunk version in the store file.
+
+    Slotted: one instance exists per live chunk version in every store
+    index and query plan, so the per-instance ``__dict__`` is worth
+    eliminating on large stores.
+    """
+
+    __slots__ = ("offset", "length", "batch")
 
     offset: int
     length: int
@@ -39,6 +46,8 @@ class ChunkLocation:
 @dataclass
 class ReadPlan:
     """A planned physical read: ``nbytes`` starting at ``offset``."""
+
+    __slots__ = ("offset", "nbytes", "batch")
 
     offset: int
     nbytes: int

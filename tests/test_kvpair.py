@@ -12,7 +12,10 @@ from repro.common.kvpair import (
     delete,
     group_sorted,
     insert,
+    merge_sorted_runs,
+    record_sort_key,
     sort_key,
+    sort_records,
     sorted_by_key,
     update,
 )
@@ -110,3 +113,62 @@ class TestProperties:
         assert keys == sorted(set(keys))
         flat = [v for _, values in grouped for v in values]
         assert sorted(flat) == sorted(v for _, v in pairs)
+
+
+class TestSortHelpers:
+    """The shuffle's sort/merge helpers must order exactly like the
+    reference ``sort_key``-keyed implementations, for every key mix."""
+
+    KEY_STYLES = {
+        "ints": lambda rng: rng.randrange(20),
+        "floats": lambda rng: rng.random(),
+        "strings": lambda rng: "k%d" % rng.randrange(12),
+        "mixed_scalars": lambda rng: rng.choice(
+            [None, True, False, 3, 2.5, "s", b"b"]
+        ),
+        "tuples": lambda rng: (rng.randrange(5), "x%d" % rng.randrange(4)),
+        "bool_int_mix": lambda rng: rng.choice([True, False, 0, 1, 2]),
+        "nested_tuples": lambda rng: ((rng.randrange(3),), rng.random() < 0.5),
+        "ragged_tuples": lambda rng: tuple(range(rng.randrange(3))),
+    }
+
+    @pytest.mark.parametrize("style", sorted(KEY_STYLES))
+    def test_sort_records_matches_reference(self, style):
+        import random
+        rng = random.Random(13)
+        make = self.KEY_STYLES[style]
+        records = [(make(rng), i) for i in range(200)]
+        reference = sorted(records, key=lambda rec: sort_key(rec[0]))
+        assert sort_records(records) == reference
+
+    @pytest.mark.parametrize("style", sorted(KEY_STYLES))
+    def test_merge_sorted_runs_matches_reference(self, style):
+        import heapq
+        import random
+        rng = random.Random(29)
+        make = self.KEY_STYLES[style]
+        records = [(make(rng), i) for i in range(200)]
+        runs = [sort_records(records[i::4]) for i in range(4)]
+        reference = list(heapq.merge(*runs, key=lambda rec: sort_key(rec[0])))
+        assert merge_sorted_runs(runs) == reference
+
+    def test_merge_empty_and_single_run(self):
+        assert merge_sorted_runs([]) == []
+        assert merge_sorted_runs([[], []]) == []
+        run = [(1, "a"), (2, "b")]
+        merged = merge_sorted_runs([run, []])
+        assert merged == run
+        assert merged is not run  # caller owns the result
+
+    def test_sort_records_stability(self):
+        records = [(1, "first"), (1.0, "second"), (True, "bool"), (1, "third")]
+        result = sort_records(records)
+        # bool ranks below numbers; equal numeric keys keep input order.
+        assert result == [(True, "bool"), (1, "first"), (1.0, "second"), (1, "third")]
+
+    def test_sorted_by_key_still_sorts_pairs(self):
+        pairs = [("b", 2), ("a", 1), ("c", 3)]
+        assert sorted_by_key(pairs) == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_record_sort_key(self):
+        assert record_sort_key(("k", 1)) == sort_key("k")

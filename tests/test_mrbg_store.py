@@ -331,3 +331,168 @@ class TestStoreModelProperty:
             else:
                 assert actual == [Edge(mk, expected[mk]) for mk in sorted(expected)]
         store.close()
+
+
+GOLDEN_STORE = os.path.join(os.path.dirname(__file__), "golden", "mrbg_store")
+
+
+class TestGoldenStore:
+    """A store written by the pre-overhaul codec (legacy index layout and
+    generic chunk encodings) must reopen and decode identically."""
+
+    def test_golden_store_decodes_identically(self):
+        store = MRBGStore.open(GOLDEN_STORE)
+        try:
+            assert store.num_batches == 2
+            assert store.get_chunk(1) == [Edge(0, 0.5), Edge(1, -9.75), Edge(2, 2.5)]
+            assert store.get_chunk(2) == [Edge(8, 8.125)]
+            assert store.get_chunk(5) == [Edge(3, "text-value"), Edge(9, b"\x00\xffbin")]
+            assert store.get_chunk("alpha") == [Edge(11, [1, 2, {"a": None}])]
+            assert store.get_chunk(("t", 3)) == [Edge(1, (True, False, 2.25))]
+        finally:
+            store.close()
+
+    def test_golden_reencode_is_byte_identical(self, tmp_path):
+        """Re-writing the golden chunks produces the same chunk bytes."""
+        source = MRBGStore.open(GOLDEN_STORE)
+        clone = make_store(tmp_path)
+        try:
+            chunks = [(key, source.get_chunk(key)) for key in source.keys()]
+            clone.build(chunks)
+            for key, entries in chunks:
+                assert clone.get_chunk(key) == entries
+                assert clone._index[key].length == source._index[key].length
+        finally:
+            source.close()
+            clone.close()
+
+
+class TestIndexAccounting:
+    def test_save_index_charges_metrics(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(10))
+        writes_before = store.metrics.io_writes
+        bytes_before = store.metrics.bytes_written
+        time_before = store.metrics.write_time_s
+        nbytes = store.save_index()
+        assert nbytes > 0
+        assert store.metrics.io_writes == writes_before + 1
+        assert store.metrics.bytes_written == bytes_before + nbytes
+        assert store.metrics.write_time_s > time_before
+        store.close()
+
+    def test_open_charges_index_read(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(10))
+        nbytes = store.save_index()
+        store.close()
+        reopened = MRBGStore.open(str(tmp_path / "store"))
+        assert reopened.metrics.io_reads == 1
+        assert reopened.metrics.bytes_read == nbytes
+        assert reopened.metrics.read_time_s > 0
+        reopened.close()
+
+    def test_index_roundtrips_through_stream_format(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build([(k, [Edge(0, 1.0)]) for k in [3, ("t", 1), "s"]])
+        list(store.merge_delta([(3, [DeltaEdge(1, 1.0, Op.INSERT)])]))
+        store.save_index()
+        index_before = dict(store._index)
+        batches_before = store.num_batches
+        store.close()
+        reopened = MRBGStore.open(str(tmp_path / "store"))
+        assert reopened._index == index_before
+        assert reopened.num_batches == batches_before
+        reopened.close()
+
+
+class TestStreamingCompaction:
+    def test_compact_multi_batch_streams_to_same_content(self, tmp_path):
+        # Tiny append buffer: compaction must flush in many small batches
+        # instead of holding the file in memory, with identical results.
+        store = make_store(tmp_path, append_buffer_size=64)
+        store.build(build_chunks(40))
+        for generation in range(3):
+            list(store.merge_delta(
+                [(k, [DeltaEdge(0, float(generation), Op.INSERT)])
+                 for k in range(0, 40, 3)]
+            ))
+        before = {k: store.get_chunk(k) for k in store.keys()}
+        live = store.live_bytes()
+        store.compact()
+        assert store.file_size == live
+        assert store.num_batches == 1
+        assert {k: store.get_chunk(k) for k in store.keys()} == before
+        # The compacted file is immediately reusable for further merges.
+        list(store.merge_delta([(1, [DeltaEdge(9, 99.0, Op.INSERT)])]))
+        assert Edge(9, 99.0) in store.get_chunk(1)
+        store.close()
+
+    def test_compact_leaves_no_temp_file(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build(build_chunks(5))
+        store.compact()
+        assert not [f for f in os.listdir(store.directory) if f.endswith(".compact")]
+        store.close()
+
+    def test_compact_empty_store(self, tmp_path):
+        store = make_store(tmp_path)
+        store.build([])
+        store.compact()
+        assert store.file_size == 0
+        assert store.num_batches == 0
+        store.close()
+
+
+class TestPrefetchLookahead:
+    def test_default_comes_from_config(self, tmp_path):
+        from repro.common import config
+        store = make_store(tmp_path)
+        assert store.prefetch_lookahead == config.DEFAULT_PREFETCH_LOOKAHEAD
+        store.close()
+
+    def test_lookahead_bounds_upcoming(self, tmp_path):
+        store = make_store(tmp_path, prefetch_lookahead=2)
+        store.build(build_chunks(10))
+        keys = list(range(10))
+        store.begin_merge(keys)
+        loc = store._index[0]
+        upcoming = store._upcoming_in_batch(0, loc)
+        assert len(upcoming) == 2
+        store.end_merge()
+        store.close()
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        import importlib
+        from repro.common import config
+        monkeypatch.setenv("REPRO_PREFETCH_LOOKAHEAD", "7")
+        importlib.reload(config)
+        try:
+            assert config.DEFAULT_PREFETCH_LOOKAHEAD == 7
+        finally:
+            monkeypatch.delenv("REPRO_PREFETCH_LOOKAHEAD")
+            importlib.reload(config)
+
+
+class TestEncodeOnce:
+    def test_put_chunk_index_length_matches_single_encoding(self, tmp_path):
+        store = make_store(tmp_path)
+        entries = [Edge(0, 1.0), Edge(1, 2.0)]
+        store.begin_merge([])
+        store.put_chunk(42, entries)
+        store.end_merge()
+        assert store.get_chunk(42) == entries
+        assert store._index[42].length == len(encode_chunk(42, entries))
+        assert store._index[42].length == chunk_size(42, entries)
+        store.close()
+
+    def test_chunk_size_no_longer_encodes(self):
+        # chunk_size must agree with the encoder for every value shape.
+        cases = [
+            (1, [Edge(0, 1.5), Edge(1, 2.5), Edge(2, 3.5), Edge(3, 4.5)]),
+            ("k", [Edge(0, "ünïcode"), Edge(1, b"raw")]),
+            ((1, "t"), [Edge(5, [1, {"a": (None, True)}])]),
+            (0, []),
+        ]
+        for k2, entries in cases:
+            assert chunk_size(k2, entries) == len(encode_chunk(k2, entries))

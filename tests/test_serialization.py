@@ -11,9 +11,12 @@ from hypothesis import strategies as st
 from repro.common.errors import SerializationError
 from repro.common.serialization import (
     decode,
+    decode_many,
     decode_record,
     encode,
+    encode_many,
     encode_record,
+    encoded_size,
 )
 
 
@@ -141,3 +144,138 @@ class TestProperties:
     @settings(max_examples=100)
     def test_encoding_deterministic(self, value):
         assert encode(value) == encode(value)
+
+
+class TestBulkAndViews:
+    """Coverage for the zero-copy decoder's bulk and parity guarantees."""
+
+    def test_memoryview_bytes_parity(self):
+        for value in [1, 2.5, "text ♥", b"\x01\x02", (1, [2.0, "x"]), {"k": (1, 2)}]:
+            raw = encode(value)
+            from_bytes = decode(raw)
+            from_view = decode(memoryview(raw))
+            from_bytearray = decode(bytearray(raw))
+            assert from_bytes == from_view == from_bytearray
+
+    def test_record_accepts_memoryview(self):
+        raw = encode_record("key", [1.0, 2.0])
+        assert decode_record(memoryview(raw)) == decode_record(raw)
+
+    def test_decode_many_roundtrip(self):
+        values = [1, "two", (3.0, None), {"k": [True, False]}, b"\x00"]
+        raw = encode_many(values)
+        assert raw == b"".join(encode(v) for v in values)
+        assert decode_many(raw) == values
+        assert decode_many(memoryview(raw)) == values
+
+    def test_decode_many_empty(self):
+        assert decode_many(b"") == []
+
+    def test_decode_many_truncated_raises(self):
+        raw = encode_many([1, "hello world"])
+        with pytest.raises(SerializationError):
+            decode_many(raw[:-2])
+
+    def test_encoded_size_matches_encode(self):
+        for value in [None, True, 7, -1.5, "ünïcodé ♥", "ascii", b"xy",
+                      (1, 2, 3), [1.0] * 10, {"a": (None, [2])}]:
+            assert encoded_size(value) == len(encode(value))
+
+    def test_encoded_size_rejects_unsupported(self):
+        with pytest.raises(SerializationError):
+            encoded_size(object())
+        with pytest.raises(SerializationError):
+            encoded_size(2**70)
+
+
+class TestHomogeneousRuns:
+    """The batched encoder path must stay byte-identical to item-wise."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            [1, 2, 3, 4, 5, 6, 7, 8],
+            (10**12, -(10**12), 0, 5, 7),
+            [1.5] * 100,
+            [True, 1, 1.0, 2.0, 3.0, 4.0, 5.0, "end"],
+            [1, 2, 3, 2.0, 3.0, 4.0, 5.0],            # adjacent runs
+            [1, 2, 3],                                 # below run threshold
+        ],
+    )
+    def test_run_encoding_matches_itemwise(self, value):
+        # item-wise reference: container header + concatenated encodings
+        reference = bytearray()
+        reference.append(0x07 if isinstance(value, tuple) else 0x08)
+        reference += len(value).to_bytes(4, "little")
+        for item in value:
+            reference += encode(item)
+        assert encode(value) == bytes(reference)
+        decoded, consumed = decode(encode(value))
+        assert decoded == value
+        assert consumed == len(encode(value))
+
+    def test_run_with_out_of_range_int_raises(self):
+        with pytest.raises(SerializationError):
+            encode([1, 2, 3, 2**70, 5])
+
+
+class TestFuzzCorruption:
+    """Corrupt or truncated input must raise SerializationError, never
+    escape with a low-level exception or hang."""
+
+    @given(_values, st.data())
+    @settings(max_examples=150)
+    def test_truncation_never_escapes(self, value, data):
+        raw = encode(value)
+        if len(raw) < 2:
+            return
+        cut = data.draw(st.integers(min_value=1, max_value=len(raw) - 1))
+        try:
+            decoded, consumed = decode(raw[:cut])
+            # A prefix can be a valid shorter encoding; it must still have
+            # consumed only what it was given.
+            assert consumed <= cut
+        except SerializationError:
+            pass
+
+    @given(_values, st.data())
+    @settings(max_examples=150)
+    def test_byte_flips_never_escape(self, value, data):
+        raw = bytearray(encode(value))
+        pos = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        raw[pos] ^= data.draw(st.integers(min_value=1, max_value=255))
+        try:
+            decode(bytes(raw))
+        except SerializationError:
+            pass
+
+
+class TestGoldenEncodings:
+    """The rewritten codec must produce byte-identical output to the
+    pre-overhaul format (golden hex captured from the old encoder)."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        import json, os
+        path = os.path.join(os.path.dirname(__file__), "golden", "encodings.json")
+        with open(path) as fh:
+            return json.load(fh)
+
+    def test_values_byte_identical(self, golden):
+        for item in golden["values"]:
+            value = eval(item["repr"])  # reprs of plain literals we wrote
+            assert encode(value).hex() == item["hex"], item["repr"]
+
+    def test_values_decode_back(self, golden):
+        for item in golden["values"]:
+            value = eval(item["repr"])
+            decoded, consumed = decode(bytes.fromhex(item["hex"]))
+            assert decoded == value
+            assert consumed == len(item["hex"]) // 2
+
+    def test_records_byte_identical(self, golden):
+        for item in golden["records"]:
+            key, value = eval(item["repr"])
+            assert encode_record(key, value).hex() == item["hex"]
+            got_key, got_value, _ = decode_record(bytes.fromhex(item["hex"]))
+            assert (got_key, got_value) == (key, value)

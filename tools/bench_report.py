@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Render (and optionally regenerate) the hot-path perf report.
+
+``BENCH_hotpaths.json`` at the repository root is the perf trajectory
+file emitted by ``benchmarks/test_bench_hotpaths.py``; this tool prints
+it as a table and compares every section against the pre-PR baseline in
+``benchmarks/baseline_hotpaths.json``.
+
+Usage::
+
+    python tools/bench_report.py            # print the report
+    python tools/bench_report.py --run      # run the bench first, then print
+    python tools/bench_report.py --check    # exit 1 unless codec ≥2x and
+                                            # fig8 improved vs the baseline
+
+CI runs ``--run`` at ``REPRO_BENCH_SCALE=test`` and uploads the JSON as
+an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_hotpaths.json")
+BASELINE_PATH = os.path.join(ROOT, "benchmarks", "baseline_hotpaths.json")
+
+
+def run_bench() -> int:
+    env = dict(os.environ)
+    env.setdefault("REPRO_BENCH_SCALE", "test")
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            os.path.join(ROOT, "benchmarks", "test_bench_hotpaths.py"),
+            "-q",
+        ],
+        env=env,
+        cwd=ROOT,
+    )
+
+
+def load(path: str) -> dict:
+    if not os.path.exists(path):
+        return {}
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def fmt_row(label: str, current, baseline, unit: str) -> str:
+    ratio = ""
+    if isinstance(current, (int, float)) and isinstance(baseline, (int, float)):
+        if baseline:
+            ratio = f"  ({current / baseline:.2f}x)"
+    base = f"{baseline}" if baseline is not None else "n/a"
+    return f"  {label:<28} {current:>12} {unit:<10} baseline {base}{ratio}"
+
+
+def print_report(doc: dict, baseline: dict) -> None:
+    host = doc.get("host", {})
+    print(
+        f"Hot-path perf report  (python {host.get('python', '?')}, "
+        f"scale={host.get('bench_scale', '?')})"
+    )
+    codec = doc.get("codec", {})
+    if codec:
+        print("codec (chunk encode/decode):")
+        print(fmt_row("encode", codec.get("encode_MBps"),
+                      baseline.get("codec", {}).get("encode_MBps"), "MB/s"))
+        print(fmt_row("decode", codec.get("decode_MBps"),
+                      baseline.get("codec", {}).get("decode_MBps"), "MB/s"))
+        print(f"  vs in-run legacy codec:      encode x{codec.get('encode_speedup')}"
+              f", decode x{codec.get('decode_speedup')}")
+    store = doc.get("store_merge", {})
+    if store:
+        print("store merge:")
+        print(fmt_row("merge_delta", store.get("ops_per_s"),
+                      baseline.get("store_merge", {}).get("ops_per_s"), "ops/s"))
+        print(fmt_row("compact", store.get("compact_s"),
+                      baseline.get("store_merge", {}).get("compact_s"), "s"))
+    shuffle = doc.get("shuffle", {})
+    if shuffle:
+        print("shuffle (sort + run merge):")
+        print(fmt_row("records", shuffle.get("records_per_s"),
+                      baseline.get("shuffle", {}).get("records_per_s"), "rec/s"))
+    fig8 = doc.get("fig8", {})
+    if fig8:
+        print("fig8 end-to-end (pagerank):")
+        base_wall = baseline.get("fig8", {}).get("wall_clock_s")
+        print(f"  wall-clock {fig8.get('wall_clock_s')} s, "
+              f"pre-PR baseline {base_wall} s"
+              + (f" -> x{fig8['speedup_vs_pre_pr']}" if "speedup_vs_pre_pr" in fig8 else ""))
+
+
+def check(doc: dict, baseline: dict) -> int:
+    failures = []
+    codec = doc.get("codec", {})
+    if codec.get("encode_speedup", 0) < 2.0 or codec.get("decode_speedup", 0) < 2.0:
+        failures.append("codec speedup below 2x vs legacy codec")
+    fig8 = doc.get("fig8", {})
+    base_wall = baseline.get("fig8", {}).get("wall_clock_s")
+    if base_wall and fig8.get("wall_clock_s") and fig8["wall_clock_s"] >= base_wall:
+        failures.append(
+            f"fig8 wall-clock {fig8['wall_clock_s']}s not better than "
+            f"pre-PR baseline {base_wall}s"
+        )
+    for failure in failures:
+        print(f"CHECK FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--run", action="store_true",
+                        help="run benchmarks/test_bench_hotpaths.py first")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the acceptance thresholds hold")
+    args = parser.parse_args()
+
+    if args.run:
+        status = run_bench()
+        if status != 0:
+            return status
+    doc = load(OUT_PATH)
+    if not doc:
+        print(f"no {os.path.basename(OUT_PATH)} found; run with --run first",
+              file=sys.stderr)
+        return 2
+    baseline = load(BASELINE_PATH)
+    print_report(doc, baseline)
+    if args.check:
+        return check(doc, baseline)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
