@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="i2mapreduce-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of i2MapReduce (Zhang et al., ICDE 2016): "
         "incremental MapReduce for mining evolving big data, with "

@@ -16,6 +16,10 @@ production-quality Python library:
   propagation control and the P-delta auto-off (section 5);
 - :mod:`repro.execution` — pluggable host execution backends (serial /
   thread / process) every engine dispatches its task batches through;
+- :mod:`repro.streaming` — continuous delta ingestion: delta sources,
+  micro-batching policies (count / bytes / time-window / backpressure)
+  and the :class:`ContinuousPipeline` driver that keeps the incremental
+  engines running over an evolving stream;
 - :mod:`repro.faults` — checkpoint-based fault tolerance (section 6);
 - :mod:`repro.baselines` — PlainMR recomputation, HaLoop, a Spark-like
   in-memory engine and an Incoop-like task-level memoizer (section 8.1.1);
@@ -80,8 +84,20 @@ from repro.mapreduce import (
     Reducer,
 )
 from repro.mrbgraph import MRBGStore
+from repro.streaming import (
+    BackpressureBatcher,
+    ByteBudgetBatcher,
+    ContinuousPipeline,
+    CountBatcher,
+    DeltaSource,
+    DFSTailSource,
+    IterativeStreamConsumer,
+    OneStepStreamConsumer,
+    ReplaySource,
+    TimeWindowBatcher,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GIMV",
@@ -126,5 +142,15 @@ __all__ = [
     "MapReduceEngine",
     "Reducer",
     "MRBGStore",
+    "BackpressureBatcher",
+    "ByteBudgetBatcher",
+    "ContinuousPipeline",
+    "CountBatcher",
+    "DeltaSource",
+    "DFSTailSource",
+    "IterativeStreamConsumer",
+    "OneStepStreamConsumer",
+    "ReplaySource",
+    "TimeWindowBatcher",
     "__version__",
 ]

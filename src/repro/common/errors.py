@@ -31,6 +31,27 @@ class JobError(ReproError):
     """A MapReduce job was misconfigured or failed during execution."""
 
 
+class DeltaDecodeError(ReproError):
+    """A DFS delta record could not be decoded into a ``DeltaRecord``.
+
+    Raised when a ``(K1, (V1, '+'|'-'))`` record has the wrong shape or
+    an op tag other than ``'+'``/``'-'``.
+    """
+
+    def __init__(self, record: object, reason: str) -> None:
+        super().__init__(f"malformed delta record {record!r}: {reason}")
+        self.record = record
+        self.reason = reason
+
+
+class StreamError(ReproError):
+    """Base class for continuous-pipeline (streaming) errors."""
+
+
+class StreamSourceError(StreamError):
+    """A delta source was misconfigured or produced an unusable stream."""
+
+
 class InvalidJobConf(JobError):
     """A job configuration failed validation before execution."""
 

@@ -19,6 +19,7 @@ from repro.experiments.fig11_propagation import run_fig11
 from repro.experiments.fig12_spark import run_fig12
 from repro.experiments.fig13_faults import run_fig13
 from repro.experiments.onestep_apriori import run_apriori_onestep
+from repro.experiments.stream_latency import run_stream_latency
 from repro.experiments.table3_datasets import run_table3
 from repro.experiments.table4_mrbgstore import run_table4
 
@@ -33,6 +34,7 @@ EXPERIMENTS = (
     ("Fig 12", run_fig12),
     ("Fig 13", run_fig13),
     ("Ablation (Incoop)", run_ablation),
+    ("Stream latency", run_stream_latency),
 )
 
 

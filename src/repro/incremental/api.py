@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Tuple
 
+from repro.common.errors import DeltaDecodeError
 from repro.common.kvpair import DeltaRecord, Op
 from repro.mapreduce.api import Context, Reducer
 
@@ -88,8 +89,29 @@ def delta_to_dfs_records(
 def dfs_records_to_delta(
     records: Iterable[Tuple[Any, Tuple[Any, str]]],
 ) -> List[DeltaRecord]:
-    """Decode DFS delta records back into :class:`DeltaRecord` objects."""
+    """Decode DFS delta records back into :class:`DeltaRecord` objects.
+
+    Raises:
+        DeltaDecodeError: when a record is not a ``(K1, (V1, op))`` pair
+            or its op tag is neither ``'+'`` nor ``'-'``.
+    """
     out: List[DeltaRecord] = []
-    for key, (value, op) in records:
-        out.append(DeltaRecord(key, value, Op(op)))
+    for item in records:
+        try:
+            key, pair = item
+        except (TypeError, ValueError) as exc:
+            raise DeltaDecodeError(
+                item, "expected a (K1, (V1, op)) record"
+            ) from exc
+        # The inner pair must be a real sequence pair: a 2-char string
+        # would "unpack" into (char, char) and fabricate a value.
+        if not isinstance(pair, (tuple, list)) or len(pair) != 2:
+            raise DeltaDecodeError(item, "expected a (K1, (V1, op)) record")
+        value, op = pair
+        try:
+            out.append(DeltaRecord(key, value, Op(op)))
+        except ValueError as exc:
+            raise DeltaDecodeError(
+                item, f"op tag must be '+' or '-', got {op!r}"
+            ) from exc
     return out

@@ -1,0 +1,186 @@
+"""Micro-batching policies: when does an open batch close?
+
+The pipeline builds a batch one record at a time and asks the policy,
+before admitting each further record, whether the batch should close
+first.  A policy therefore never sees an empty batch (the first record
+is always admitted — every policy makes progress) and decides purely
+from batch size, byte size and simulated arrival times.
+
+Sizing a micro-batch trades latency against overhead: every batch pays
+the fixed job-startup cost (~20 simulated seconds, §4.2), so tiny
+batches drown in startup while huge batches hold their oldest record
+hostage.  :class:`BackpressureBatcher` navigates the trade-off
+dynamically — it grows its batch target while the engine is falling
+behind the arrival rate (backlog growing) and shrinks it again once the
+queue drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StreamError
+
+
+@dataclass
+class BatchFeedback:
+    """What the pipeline tells the policy after each processed batch."""
+
+    #: records arrived but unprocessed when the batch completed.
+    backlog_records: int
+    #: simulated engine seconds the batch took.
+    processing_s: float
+    #: records in the processed batch.
+    num_records: int
+    #: end-to-end latency of the batch's oldest record.
+    latency_s: float
+
+
+class BatchPolicy:
+    """Abstract micro-batching policy."""
+
+    #: short label used in experiment tables.
+    name: str = "policy"
+
+    def reset(self) -> None:
+        """Forget adaptive state (called once per pipeline)."""
+
+    def should_close(
+        self,
+        num_records: int,
+        num_bytes: int,
+        first_arrival_s: float,
+        next_arrival_s: float,
+        next_bytes: int,
+    ) -> bool:
+        """Whether to close the open batch *before* the next record."""
+        raise NotImplementedError
+
+    def observe(self, feedback: BatchFeedback) -> None:
+        """Feedback hook after each processed batch (default: ignore)."""
+
+
+class CountBatcher(BatchPolicy):
+    """Close after a fixed number of records."""
+
+    def __init__(self, max_records: int) -> None:
+        if max_records <= 0:
+            raise StreamError("max_records must be positive")
+        self.max_records = max_records
+        self.name = f"count({max_records})"
+
+    def should_close(
+        self,
+        num_records: int,
+        num_bytes: int,
+        first_arrival_s: float,
+        next_arrival_s: float,
+        next_bytes: int,
+    ) -> bool:
+        return num_records >= self.max_records
+
+
+class ByteBudgetBatcher(BatchPolicy):
+    """Close when admitting the next record would exceed a byte budget.
+
+    Byte sizes are the exact-size estimator's (the same accounting every
+    engine charges simulated I/O with), plus the 2-byte op marker.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes <= 0:
+            raise StreamError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        self.name = f"bytes({max_bytes})"
+
+    def should_close(
+        self,
+        num_records: int,
+        num_bytes: int,
+        first_arrival_s: float,
+        next_arrival_s: float,
+        next_bytes: int,
+    ) -> bool:
+        return num_bytes + next_bytes > self.max_bytes
+
+
+class TimeWindowBatcher(BatchPolicy):
+    """Close when the next record falls outside a simulated-time window.
+
+    The window opens at the batch's first arrival; a record arriving
+    ``window_s`` or more later starts the next batch.  When the engine
+    falls behind, several windows' worth of records may already have
+    arrived — they still split at window boundaries, so batch size grows
+    with the arrival rate, not with the backlog.
+    """
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0:
+            raise StreamError("window_s must be positive")
+        self.window_s = window_s
+        self.name = f"window({window_s:g}s)"
+
+    def should_close(
+        self,
+        num_records: int,
+        num_bytes: int,
+        first_arrival_s: float,
+        next_arrival_s: float,
+        next_bytes: int,
+    ) -> bool:
+        return next_arrival_s >= first_arrival_s + self.window_s
+
+
+class BackpressureBatcher(BatchPolicy):
+    """Count batcher whose target adapts to the engine's backlog.
+
+    Starts at ``min_records`` per batch.  After each batch, if the
+    backlog exceeds ``high_water`` records the target multiplies by
+    ``growth`` (amortizing the fixed per-batch startup cost over more
+    records); once the backlog drains to zero the target divides by
+    ``growth`` again, restoring low latency.  The target is clamped to
+    ``[min_records, max_records]``.
+    """
+
+    def __init__(
+        self,
+        min_records: int = 4,
+        max_records: int = 1024,
+        high_water: int = 32,
+        growth: float = 2.0,
+    ) -> None:
+        if min_records <= 0 or max_records < min_records:
+            raise StreamError("need 0 < min_records <= max_records")
+        if growth <= 1.0:
+            raise StreamError("growth must exceed 1.0")
+        if high_water < 0:
+            raise StreamError("high_water must be non-negative")
+        self.min_records = min_records
+        self.max_records = max_records
+        self.high_water = high_water
+        self.growth = growth
+        self.target = min_records
+        self.name = f"backpressure({min_records}..{max_records})"
+
+    def reset(self) -> None:
+        self.target = self.min_records
+
+    def should_close(
+        self,
+        num_records: int,
+        num_bytes: int,
+        first_arrival_s: float,
+        next_arrival_s: float,
+        next_bytes: int,
+    ) -> bool:
+        return num_records >= self.target
+
+    def observe(self, feedback: BatchFeedback) -> None:
+        if feedback.backlog_records > self.high_water:
+            self.target = min(
+                self.max_records, max(self.target + 1, int(self.target * self.growth))
+            )
+        elif feedback.backlog_records == 0:
+            self.target = max(
+                self.min_records, int(self.target / self.growth)
+            )

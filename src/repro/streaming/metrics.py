@@ -1,0 +1,111 @@
+"""Per-batch and per-run metrics of a continuous pipeline.
+
+All times are *simulated* seconds on the same clock the cost model uses
+everywhere else in the library: record arrival times come from the
+delta source, processing times from the engines' :class:`JobMetrics`.
+Wall-clock never enters, so a stream run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class StreamBatchMetrics:
+    """What happened to one micro-batch, end to end."""
+
+    #: 0-based batch sequence number.
+    index: int
+    #: number of delta records in the batch.
+    num_records: int
+    #: encoded byte size of the batch (exact-size estimator).
+    num_bytes: int
+    #: simulated arrival time of the batch's first record.
+    first_arrival_s: float
+    #: simulated arrival time of the batch's last record (batch-ready time).
+    ready_s: float
+    #: when the engine actually started the batch (>= ready_s when the
+    #: engine was still busy with an earlier batch).
+    start_s: float
+    #: simulated engine time spent processing the batch.
+    processing_s: float
+    #: completion time (``start_s + processing_s``).
+    done_s: float
+    #: records already arrived but still unprocessed at completion time —
+    #: the queue the *next* batches must drain.
+    backlog_records: int
+    #: whether this batch tripped the §5.2 P∆ auto-off (MRBGraph
+    #: maintenance disabled; later batches run as full recomputation).
+    fell_back: bool = False
+    #: incremental iterations the engine ran for this batch (iterative
+    #: consumers; one-step consumers report 1).
+    iterations: int = 1
+
+    @property
+    def wait_s(self) -> float:
+        """How long the ready batch queued behind earlier batches."""
+        return self.start_s - self.ready_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency of the batch's *oldest* record."""
+        return self.done_s - self.first_arrival_s
+
+
+@dataclass
+class StreamRunResult:
+    """Summary of one :class:`ContinuousPipeline.run` invocation."""
+
+    batches: List[StreamBatchMetrics] = field(default_factory=list)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def num_records(self) -> int:
+        return sum(b.num_records for b in self.batches)
+
+    @property
+    def num_fallbacks(self) -> int:
+        return sum(1 for b in self.batches if b.fell_back)
+
+    @property
+    def max_backlog(self) -> int:
+        return max((b.backlog_records for b in self.batches), default=0)
+
+    @property
+    def mean_batch_records(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.num_records / len(self.batches)
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.batches:
+            return 0.0
+        return sum(b.latency_s for b in self.batches) / len(self.batches)
+
+    @property
+    def max_latency_s(self) -> float:
+        return max((b.latency_s for b in self.batches), default=0.0)
+
+    @property
+    def total_processing_s(self) -> float:
+        return sum(b.processing_s for b in self.batches)
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion, in simulated seconds."""
+        if not self.batches:
+            return 0.0
+        return self.batches[-1].done_s - self.batches[0].first_arrival_s
+
+    @property
+    def throughput_records_per_s(self) -> float:
+        span = self.makespan_s
+        if span <= 0.0:
+            return 0.0
+        return self.num_records / span

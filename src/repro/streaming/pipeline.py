@@ -1,0 +1,181 @@
+"""The continuous pipeline driver: source → batches → engine → metrics.
+
+:class:`ContinuousPipeline` pulls timestamped delta records from a
+:class:`repro.streaming.sources.DeltaSource`, cuts them into
+micro-batches under a :class:`repro.streaming.batching.BatchPolicy`,
+feeds each batch to a :class:`repro.streaming.consumers.StreamConsumer`
+(which drives ``run_incremental`` on one of the incremental engines),
+and records a :class:`repro.streaming.metrics.StreamBatchMetrics` per
+batch.
+
+Time is the library's simulated clock: a batch is *ready* when its last
+record has arrived, *starts* once the engine is free, and completes
+after the engine's simulated processing time.  Records that arrive while
+the engine is busy queue up as *backlog*; the backlog depth at each
+batch's completion is reported to the policy (backpressure policies use
+it to grow their batch target) and recorded in the metrics.
+
+``run`` may be called repeatedly — the simulated clock, the source
+position and the consumer state all persist, so a caller can interleave
+pipeline pulls with out-of-band work (e.g. writing more DFS delta files
+for a tailing source to pick up).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+from repro.common.sizeof import record_size
+from repro.streaming.batching import BatchFeedback, BatchPolicy
+from repro.streaming.consumers import StreamConsumer
+from repro.streaming.metrics import StreamBatchMetrics, StreamRunResult
+from repro.streaming.sources import ArrivedRecord, DeltaSource
+
+#: Encoded overhead of the +/- op marker on a delta record — the same
+#: charge the incremental engines apply per delta record.
+_OP_BYTES = 2
+
+
+def delta_record_size(record) -> int:
+    """Encoded bytes of one delta record (payload + op marker)."""
+    return record_size(record.key, record.value) + _OP_BYTES
+
+
+class ContinuousPipeline:
+    """Drive an incremental engine from a continuous delta stream."""
+
+    def __init__(
+        self,
+        source: DeltaSource,
+        policy: BatchPolicy,
+        consumer: StreamConsumer,
+    ) -> None:
+        self.source = source
+        self.policy = policy
+        self.consumer = consumer
+        self.result = StreamRunResult()
+        policy.reset()
+        self._events: Optional[Iterator[ArrivedRecord]] = None
+        self._pending: Optional[ArrivedRecord] = None
+        self._buffer: Deque[ArrivedRecord] = deque()
+        #: simulated time at which the engine finishes its current work.
+        self.engine_free_s = 0.0
+
+    # ------------------------------------------------------------------ #
+    # source plumbing                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _pull(self) -> Optional[ArrivedRecord]:
+        """Next record straight from the source, or None when drained."""
+        item = self._peek_source()
+        self._pending = None
+        return item
+
+    def _peek_source(self) -> Optional[ArrivedRecord]:
+        if self._pending is None:
+            if self._events is None:
+                self._events = iter(self.source)
+            self._pending = next(self._events, None)
+            if self._pending is None:
+                # Exhausted for now — drop the iterator so the next ask
+                # re-enters events(); sources resume, so a tailing
+                # source gets to surface data that appeared since.
+                self._events = None
+        return self._pending
+
+    def _peek(self) -> Optional[ArrivedRecord]:
+        """Next record to batch (buffered backlog first, then source)."""
+        if self._buffer:
+            return self._buffer[0]
+        return self._peek_source()
+
+    def _pop(self) -> Optional[ArrivedRecord]:
+        if self._buffer:
+            return self._buffer.popleft()
+        return self._pull()
+
+    def _absorb_arrivals(self, until_s: float) -> None:
+        """Move records that arrived by ``until_s`` into the backlog."""
+        while True:
+            nxt = self._peek_source()
+            if nxt is None or nxt.arrival_s > until_s:
+                return
+            self._buffer.append(self._pull())
+
+    # ------------------------------------------------------------------ #
+    # the drive loop                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _next_batch(self) -> Tuple[List[ArrivedRecord], int]:
+        """Cut the next micro-batch under the policy (may be empty)."""
+        batch: List[ArrivedRecord] = []
+        num_bytes = 0
+        first_arrival = 0.0
+        while True:
+            nxt = self._peek()
+            if nxt is None:
+                return batch, num_bytes
+            nxt_bytes = delta_record_size(nxt.record)
+            if batch and self.policy.should_close(
+                len(batch), num_bytes, first_arrival, nxt.arrival_s, nxt_bytes
+            ):
+                return batch, num_bytes
+            if not batch:
+                first_arrival = nxt.arrival_s
+            batch.append(self._pop())
+            num_bytes += nxt_bytes
+
+    def run(self, max_batches: Optional[int] = None) -> StreamRunResult:
+        """Process batches until the source drains (or a batch budget).
+
+        Returns the cumulative :class:`StreamRunResult` across *all*
+        ``run`` calls on this pipeline.
+        """
+        done = 0
+        while max_batches is None or done < max_batches:
+            batch, num_bytes = self._next_batch()
+            if not batch:
+                break
+            records = [item.record for item in batch]
+            first_arrival_s = batch[0].arrival_s
+            ready_s = batch[-1].arrival_s
+            start_s = max(ready_s, self.engine_free_s)
+            outcome = self.consumer.process_batch(records)
+            done_s = start_s + outcome.processing_s
+            self.engine_free_s = done_s
+            self._absorb_arrivals(done_s)
+            metrics = StreamBatchMetrics(
+                index=self.result.num_batches,
+                num_records=len(records),
+                num_bytes=num_bytes,
+                first_arrival_s=first_arrival_s,
+                ready_s=ready_s,
+                start_s=start_s,
+                processing_s=outcome.processing_s,
+                done_s=done_s,
+                backlog_records=len(self._buffer),
+                fell_back=outcome.fell_back,
+                iterations=outcome.iterations,
+            )
+            self.result.batches.append(metrics)
+            self.policy.observe(
+                BatchFeedback(
+                    backlog_records=metrics.backlog_records,
+                    processing_s=metrics.processing_s,
+                    num_records=metrics.num_records,
+                    latency_s=metrics.latency_s,
+                )
+            )
+            done += 1
+        return self.result
+
+    def close(self) -> None:
+        """Release the consumer's preserved state (when it owns it)."""
+        self.consumer.close()
+
+    def __enter__(self) -> "ContinuousPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

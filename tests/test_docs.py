@@ -35,3 +35,29 @@ def test_readme_names_real_commands():
     readme = (ROOT / "README.md").read_text(encoding="utf-8")
     assert "python -m pytest -x -q" in readme
     assert "pip install -e ." in readme
+
+
+def test_readme_documents_env_knobs():
+    """Every REPRO_* knob read by the library is documented in README."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    for knob in (
+        "REPRO_EXECUTOR",
+        "REPRO_MAX_WORKERS",
+        "REPRO_APPEND_BUFFER_SIZE",
+        "REPRO_PREFETCH_LOOKAHEAD",
+        "REPRO_BENCH_SCALE",
+    ):
+        assert knob in readme, f"{knob} missing from README.md"
+
+
+def test_architecture_covers_streaming():
+    """The streaming subsystem has its architecture section."""
+    arch = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "## Streaming & continuous pipelines" in arch
+    for term in ("DeltaSource", "BatchPolicy", "ContinuousPipeline", "backlog"):
+        assert term in arch
+
+
+def test_experiments_registry_covers_stream_latency():
+    experiments = (ROOT / "docs" / "experiments.md").read_text(encoding="utf-8")
+    assert "stream_latency.py" in experiments

@@ -1,0 +1,194 @@
+"""Multi-round incremental runs compose: applying a delta stream in two
+successive ``run_incremental`` calls on the same preserved state ends in
+the same final state as one combined call with the concatenated delta.
+
+This is the composition property the streaming subsystem leans on —
+a micro-batched pipeline is exactly a sequence of ``run_incremental``
+calls — checked on both engines:
+
+- **WordCount** through :class:`IncrMREngine` (one-step): integer
+  sums, so split and combined runs must match *exactly* (fine-grain
+  mode with deletions, and accumulator mode with insert-only deltas);
+- **PageRank** through :class:`I2MREngine` (incremental iterative):
+  both runs are driven to the float fixpoint, which may differ in the
+  last bit between trajectories, so values are compared to 1e-12 and
+  key sets exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.wordcount import WordCountMapper, WordCountReducer, reference_wordcount
+from repro.common.kvpair import delete, insert
+from repro.datasets.graphs import mutate_web_graph, powerlaw_web_graph
+from repro.incremental.api import delta_to_dfs_records
+from repro.incremental.engine import IncrMREngine
+from repro.inciter.engine import I2MREngine, I2MROptions
+from repro.iterative.api import IterativeJob
+from repro.mapreduce.job import JobConf
+
+from tests.conftest import fresh_cluster
+
+# --------------------------------------------------------------------- #
+# WordCount (one-step engine)                                           #
+# --------------------------------------------------------------------- #
+
+_words = st.lists(
+    st.sampled_from(["a", "b", "c", "dd", "ee"]), min_size=1, max_size=5
+).map(" ".join)
+_docs = st.dictionaries(
+    st.integers(min_value=0, max_value=9), _words, min_size=1, max_size=6
+)
+# Per-round action scripts over doc ids 0..14: delete / insert / rewrite.
+_actions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=14),
+        st.sampled_from(["delete", "insert", "rewrite"]),
+        _words,
+    ),
+    max_size=5,
+)
+
+
+def _apply_script(current: dict, actions) -> list:
+    """Turn an action script into a well-formed delta for ``current``."""
+    records = []
+    for key, action, text in actions:
+        if action == "delete" and key in current:
+            records.append(delete(key, current.pop(key)))
+        elif action == "insert" and key not in current:
+            records.append(insert(key, text))
+            current[key] = text
+        elif action == "rewrite" and key in current and current[key] != text:
+            records.append(delete(key, current[key]))
+            records.append(insert(key, text))
+            current[key] = text
+    return records
+
+
+def _wordcount_conf() -> JobConf:
+    return JobConf(
+        name="wordcount", mapper=WordCountMapper, reducer=WordCountReducer,
+        inputs=["/in"], output="/out", num_reducers=3,
+    )
+
+
+class TestWordCountMultiRound:
+    @given(_docs, _actions, _actions)
+    @settings(max_examples=25, deadline=None)
+    def test_finegrain_split_equals_combined(self, docs, actions1, actions2):
+        current = dict(docs)
+        d1 = _apply_script(current, actions1)
+        d2 = _apply_script(current, actions2)
+        conf = _wordcount_conf()
+
+        # Two successive rounds on the same store.
+        cluster, dfs = fresh_cluster()
+        engine = IncrMREngine(cluster, dfs)
+        dfs.write("/in", sorted(docs.items()))
+        _, state = engine.run_initial(conf)
+        dfs.write("/d1", delta_to_dfs_records(d1))
+        engine.run_incremental(conf, "/d1", state)
+        dfs.write("/d2", delta_to_dfs_records(d2))
+        engine.run_incremental(conf, "/d2", state)
+        split = dict(dfs.read_all("/out"))
+        state.cleanup()
+
+        # One combined round.
+        cluster2, dfs2 = fresh_cluster()
+        engine2 = IncrMREngine(cluster2, dfs2)
+        dfs2.write("/in", sorted(docs.items()))
+        _, state2 = engine2.run_initial(conf)
+        dfs2.write("/d12", delta_to_dfs_records(d1 + d2))
+        engine2.run_incremental(conf, "/d12", state2)
+        combined = dict(dfs2.read_all("/out"))
+        state2.cleanup()
+
+        assert split == combined
+        # Both equal a from-scratch recount of the final documents.
+        assert split == reference_wordcount(sorted(current.items()))
+
+    @given(_docs, st.lists(_words, max_size=4), st.lists(_words, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_accumulator_split_equals_combined(self, docs, texts1, texts2):
+        next_id = 100
+        d1 = [insert(next_id + i, t) for i, t in enumerate(texts1)]
+        d2 = [insert(next_id + len(texts1) + i, t) for i, t in enumerate(texts2)]
+        conf = _wordcount_conf()
+
+        cluster, dfs = fresh_cluster()
+        engine = IncrMREngine(cluster, dfs)
+        dfs.write("/in", sorted(docs.items()))
+        _, state = engine.run_initial(conf, accumulator=True)
+        dfs.write("/d1", delta_to_dfs_records(d1))
+        engine.run_incremental(conf, "/d1", state)
+        dfs.write("/d2", delta_to_dfs_records(d2))
+        engine.run_incremental(conf, "/d2", state)
+        split = dict(state.acc_outputs)
+        state.cleanup()
+
+        cluster2, dfs2 = fresh_cluster()
+        engine2 = IncrMREngine(cluster2, dfs2)
+        dfs2.write("/in", sorted(docs.items()))
+        _, state2 = engine2.run_initial(conf, accumulator=True)
+        dfs2.write("/d12", delta_to_dfs_records(d1 + d2))
+        engine2.run_incremental(conf, "/d12", state2)
+        combined = dict(state2.acc_outputs)
+        state2.cleanup()
+
+        assert split == combined
+        final_docs = dict(docs)
+        for rec in d1 + d2:
+            final_docs[rec.key] = rec.value
+        assert split == reference_wordcount(sorted(final_docs.items()))
+
+
+# --------------------------------------------------------------------- #
+# PageRank (incremental iterative engine)                               #
+# --------------------------------------------------------------------- #
+
+
+def _converged_pagerank(seed: int):
+    graph = powerlaw_web_graph(60, 5.0, seed=seed)
+    cluster, dfs = fresh_cluster()
+    engine = I2MREngine(cluster, dfs)
+    job = IterativeJob(PageRank(), graph, num_partitions=4,
+                       max_iterations=200, epsilon=1e-12)
+    _, prev = engine.run_initial(job)
+    return graph, engine, prev
+
+
+class TestPageRankMultiRound:
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    def test_split_equals_combined(self, seed):
+        opts = I2MROptions(filter_threshold=None, max_iterations=300)
+
+        def job_for(graph):
+            return IterativeJob(PageRank(), graph, num_partitions=4,
+                                max_iterations=300)
+
+        graph, engine, prev = _converged_pagerank(seed)
+        d1 = mutate_web_graph(graph, 0.12, seed=seed + 100)
+        d2 = mutate_web_graph(d1.new_graph, 0.12, seed=seed + 200)
+
+        engine.run_incremental(job_for(d1.new_graph), d1.records, prev, opts)
+        engine.run_incremental(job_for(d2.new_graph), d2.records, prev, opts)
+        split = dict(prev.state)
+        prev.cleanup()
+
+        graph2, engine2, prev2 = _converged_pagerank(seed)
+        engine2.run_incremental(
+            job_for(d2.new_graph), d1.records + d2.records, prev2, opts
+        )
+        combined = dict(prev2.state)
+        prev2.cleanup()
+
+        # Same vertex set; ranks at the float fixpoint (last-bit slack).
+        assert set(split) == set(combined)
+        assert set(split) == set(d2.new_graph.out_links)
+        for vertex, rank in split.items():
+            assert rank == pytest.approx(combined[vertex], abs=1e-12)

@@ -10,6 +10,11 @@ when any points at nothing in the tree:
 - bare Python file names (``fig8_overall.py``) — matched against the
   set of file names anywhere in the tree.
 
+It also checks the reverse direction for the experiment registry:
+every experiment module under ``src/repro/experiments/`` (except the
+shared harness/CLI plumbing) must be named in ``docs/experiments.md``,
+so a new experiment cannot land undocumented.
+
 Run from the repository root (CI does)::
 
     python tools/check_docs_links.py
@@ -58,6 +63,27 @@ def check_file(doc: Path, root: Path, known_basenames: set) -> list:
     return problems
 
 
+#: experiment-package plumbing exempt from the registry check.
+EXPERIMENT_PLUMBING = {"__init__.py", "__main__.py", "harness.py"}
+
+
+def check_experiment_registry(root: Path) -> list:
+    """Every experiment module must be named in docs/experiments.md."""
+    registry = root / "docs" / "experiments.md"
+    if not registry.is_file():
+        return [("docs/experiments.md", "experiment registry is missing")]
+    text = registry.read_text(encoding="utf-8")
+    problems = []
+    for module in sorted((root / "src" / "repro" / "experiments").glob("*.py")):
+        if module.name in EXPERIMENT_PLUMBING:
+            continue
+        if module.name not in text:
+            problems.append(
+                (module.name, "experiment module not named in docs/experiments.md")
+            )
+    return problems
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     known_basenames = {
@@ -71,6 +97,9 @@ def main() -> int:
         for ref, reason in problems:
             print(f"{doc.relative_to(root)}: {ref!r}: {reason}")
         failures += len(problems)
+    for ref, reason in check_experiment_registry(root):
+        print(f"docs/experiments.md: {ref!r}: {reason}")
+        failures += 1
     if failures:
         print(f"\n{failures} broken doc reference(s)")
         return 1
