@@ -1,0 +1,274 @@
+"""Benchmark — sharded MRBG-Store: merge/compact/incremental-round
+throughput across shard counts (1/2/4/8) and execution backends
+(serial/thread/process).
+
+Writes ``BENCH_sharding.json`` at the repository root (the sibling of
+``BENCH_hotpaths.json``); ``tools/bench_report.py`` renders both.  Every
+combination is also checked for *correctness*: merged results, final
+chunk contents and index bytes must be identical whatever the shard
+count or backend — throughput may move, bytes may not.
+
+Run it alone with::
+
+    REPRO_BENCH_SCALE=test python -m pytest benchmarks/test_bench_sharding.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+from benchmarks.conftest import run_once
+from repro.common.kvpair import Op
+from repro.execution import resolve_executor
+from repro.mrbgraph.graph import DeltaEdge, Edge
+from repro.mrbgraph.sharding import ShardedMRBGStore
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_ROOT, "BENCH_sharding.json")
+
+SHARD_COUNTS = (1, 2, 4, 8)
+BACKENDS = ("serial", "thread", "process")
+
+#: per-scale store shape: (chunks, edges_per_chunk, merge_rounds).
+_SCALES = {
+    "test": (1500, 16, 2),
+    "small": (6000, 32, 3),
+    "medium": (20000, 32, 3),
+}
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_sharding.json``."""
+    doc = {}
+    if os.path.exists(_OUT_PATH):
+        with open(_OUT_PATH) as fh:
+            doc = json.load(fh)
+    doc.setdefault("schema", "bench-sharding/1")
+    doc["host"] = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
+    }
+    doc[section] = payload
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _store_workload(bench_scale):
+    chunks, edges, rounds = _SCALES.get(bench_scale, _SCALES["test"])
+    build = [
+        (k2, [Edge(mk, float(k2 + mk)) for mk in range(edges)])
+        for k2 in range(chunks)
+    ]
+    deltas = [
+        sorted(
+            (k2, [DeltaEdge(1, float(generation), Op.INSERT)])
+            for k2 in range(0, chunks, 2)
+        )
+        for generation in range(rounds)
+    ]
+    return build, deltas
+
+
+def _drive_store(build, deltas, num_shards, backend):
+    """One merge+compact cycle: wall-clock, simulated placement, digest.
+
+    Wall-clock is the host-dependent part; the *simulated* stage times
+    come from the locality-aware shard placement
+    (:func:`repro.cluster.scheduler.schedule_shard_stage`) and are
+    byte-identical whatever backend executed the fan-out — they are the
+    deterministic scaling claim the report tracks.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ShardedMRBGStore(
+            os.path.join(tmp, "store"), num_shards=num_shards, executor=backend
+        )
+        store.build(iter(build))
+
+        t0 = time.perf_counter()
+        merged = 0
+        sim_merge_elapsed = 0.0
+        sim_merge_serial = 0.0
+        for delta in deltas:
+            for _ in store.merge_delta(delta):
+                merged += 1
+            schedule = store.last_schedule
+            sim_merge_elapsed += schedule.elapsed_s
+            sim_merge_serial += sum(schedule.worker_loads)
+        merge_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        schedule = store.compact()
+        compact_s = time.perf_counter() - t0
+        sim_compact_elapsed = schedule.elapsed_s
+        sim_compact_serial = sum(schedule.worker_loads)
+
+        t0 = time.perf_counter()
+        index_bytes = store.save_index()
+        flush_s = time.perf_counter() - t0
+
+        assert index_bytes > 0
+        # Index bytes vary with shard count (one header per shard); the
+        # chunk payload must not.
+        digest = (
+            merged,
+            store.live_bytes(),
+            store.get_chunk(0),
+            store.get_chunk(len(build) // 2),
+        )
+        store.close()
+    wall = (merge_s, compact_s, flush_s)
+    simulated = (
+        sim_merge_elapsed,
+        sim_merge_serial,
+        sim_compact_elapsed,
+        sim_compact_serial,
+    )
+    return wall, simulated, digest
+
+
+def test_bench_shard_maintenance(benchmark, bench_scale):
+    build, deltas = _store_workload(bench_scale)
+    backends = {name: resolve_executor(name) for name in BACKENDS}
+
+    wall_results: dict = {name: {} for name in BACKENDS}
+    simulated_by_shards: dict = {}
+    reference = None
+    for name, backend in backends.items():
+        for shards in SHARD_COUNTS:
+            wall, simulated, digest = _drive_store(build, deltas, shards, backend)
+            if reference is None:
+                reference = digest
+            # Correctness: bytes and results never move with shards/backend.
+            assert digest == reference, (name, shards)
+            merge_s, compact_s, flush_s = wall
+            merged_ops = digest[0]
+            wall_results[name][str(shards)] = {
+                "merge_ops_per_s": round(merged_ops / merge_s, 1),
+                "compact_s": round(compact_s, 4),
+                "index_flush_s": round(flush_s, 4),
+            }
+            # Simulated placement is part of the determinism contract:
+            # identical whichever backend ran the batch.
+            key = str(shards)
+            if key in simulated_by_shards:
+                assert simulated_by_shards[key]["_raw"] == simulated, (name, shards)
+            else:
+                merge_el, merge_serial, compact_el, compact_serial = simulated
+                simulated_by_shards[key] = {
+                    "_raw": simulated,
+                    "merge_elapsed_s": round(merge_el, 6),
+                    "compact_elapsed_s": round(compact_el, 6),
+                    "compact_serial_s": round(compact_serial, 6),
+                    "merge_parallel_speedup": round(
+                        merge_serial / merge_el, 2
+                    ) if merge_el else 1.0,
+                    "compact_parallel_speedup": round(
+                        compact_serial / compact_el, 2
+                    ) if compact_el else 1.0,
+                }
+
+    for row in simulated_by_shards.values():
+        del row["_raw"]
+
+    # The deterministic scaling claim: spreading a store over more shards
+    # shrinks the simulated merge/compact stage elapsed (locality-aware
+    # parallel placement), monotonically up to the worker count.
+    most = str(SHARD_COUNTS[-1])
+    assert (
+        simulated_by_shards[most]["compact_elapsed_s"]
+        < simulated_by_shards["1"]["compact_elapsed_s"]
+    )
+    assert (
+        simulated_by_shards[most]["merge_elapsed_s"]
+        < simulated_by_shards["1"]["merge_elapsed_s"]
+    )
+
+    payload = {
+        "shard_counts": list(SHARD_COUNTS),
+        "wall_clock": wall_results,
+        "simulated": simulated_by_shards,
+    }
+    _record("shard_maintenance", payload)
+    benchmark.extra_info.update({"simulated": simulated_by_shards})
+    run_once(benchmark, lambda: None)
+    for name in BACKENDS:
+        row = ", ".join(
+            f"{shards}sh {wall_results[name][str(shards)]['merge_ops_per_s']} ops/s"
+            f"/{wall_results[name][str(shards)]['compact_s']}s"
+            for shards in SHARD_COUNTS
+        )
+        print(f"\nshard maintenance wall-clock [{name}]: {row}")
+    print(
+        "simulated stage elapsed (any backend): "
+        + ", ".join(
+            f"{shards}sh merge {simulated_by_shards[str(shards)]['merge_elapsed_s']}s"
+            f"/compact {simulated_by_shards[str(shards)]['compact_elapsed_s']}s"
+            f" (x{simulated_by_shards[str(shards)]['compact_parallel_speedup']})"
+            for shards in SHARD_COUNTS
+        )
+    )
+    for backend in backends.values():
+        backend.close()
+
+
+def test_bench_shard_incremental_round(benchmark, bench_scale):
+    """End-to-end incremental PageRank round, shards × backends."""
+    from repro.algorithms.pagerank import PageRank
+    from repro.datasets.graphs import mutate_web_graph, powerlaw_web_graph
+    from repro.experiments.harness import make_cluster
+    from repro.inciter.engine import I2MREngine, I2MROptions
+    from repro.iterative.api import IterativeJob
+
+    vertices = {"test": 300, "small": 1000, "medium": 4000}.get(bench_scale, 300)
+    graph = powerlaw_web_graph(vertices, 6.0, seed=3)
+    delta = mutate_web_graph(graph, 0.05, seed=9)
+
+    results: dict = {}
+    reference_state = None
+    for name in BACKENDS:
+        results[name] = {}
+        for shards in (1, 4):
+            cluster, dfs = make_cluster(num_workers=4, seed=7)
+            job = IterativeJob(
+                PageRank(), graph, num_partitions=4,
+                max_iterations=20, epsilon=1e-6,
+            )
+            engine = I2MREngine(cluster, dfs, executor=name, num_shards=shards)
+            _, prev = engine.run_initial(job)
+            t0 = time.perf_counter()
+            engine.run_incremental(
+                job, delta.records, prev,
+                I2MROptions(filter_threshold=1e-4, max_iterations=10,
+                            epsilon=1e-6),
+            )
+            round_s = time.perf_counter() - t0
+            state = sorted(prev.state.items())
+            if reference_state is None:
+                reference_state = state
+            assert state == reference_state, (name, shards)
+            prev.cleanup()
+            engine.close()
+            results[name][str(shards)] = {
+                "round_s": round(round_s, 4),
+                "delta_records_per_s": round(len(delta.records) / round_s, 1),
+            }
+
+    payload = {"vertices": vertices, "backends": results}
+    _record("incremental_round", payload)
+    benchmark.extra_info.update({"incremental_round": results})
+    run_once(benchmark, lambda: None)
+    for name in BACKENDS:
+        print(
+            f"\nincremental round [{name}]: "
+            + ", ".join(
+                f"{shards}sh {results[name][shards]['round_s']}s"
+                for shards in ("1", "4")
+            )
+        )

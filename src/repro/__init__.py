@@ -83,7 +83,13 @@ from repro.mapreduce import (
     MapReduceEngine,
     Reducer,
 )
-from repro.mrbgraph import MRBGStore
+from repro.mrbgraph import (
+    HashShardRouter,
+    MRBGStore,
+    RangeShardRouter,
+    ShardedMRBGStore,
+    ShardRouter,
+)
 from repro.streaming import (
     BackpressureBatcher,
     ByteBudgetBatcher,
@@ -142,6 +148,10 @@ __all__ = [
     "MapReduceEngine",
     "Reducer",
     "MRBGStore",
+    "HashShardRouter",
+    "RangeShardRouter",
+    "ShardRouter",
+    "ShardedMRBGStore",
     "BackpressureBatcher",
     "ByteBudgetBatcher",
     "ContinuousPipeline",

@@ -33,6 +33,7 @@ class APrioriMapper(Mapper):
         self.cpu_weight = max(1.0, len(self.candidates) / 100.0)
 
     def map(self, key: Any, value: Any, ctx: Context) -> None:
+        """Emit each candidate itemset found in the record's word set."""
         words = frozenset(value.split()) & self.candidate_words
         if len(words) < 2:
             return

@@ -68,32 +68,40 @@ class GIMV(IterativeAlgorithm):
     # ------------------------------ §4 API ---------------------------- #
 
     def project(self, sk: Any) -> Any:
+        """Block column ``j`` of ``sk = (i, j)`` is the state key."""
         return sk[1]
 
     def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        """Partial block product ``combine2(M_ij, v_j)`` keyed by row ``i``."""
         i, _ = sk
         return [(i, self.combine2(sv, dv))]
 
     def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        """``assign`` applied to the element-wise combined partial products."""
         return self.assign(None, self.combine_all(values))
 
     def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        """L1 distance between two vector blocks."""
         return sum(abs(a - b) for a, b in zip(dv_curr, dv_prev))
 
     def init_state_value(self, dk: Any) -> Any:
+        """All-ones vector block for a newly seen block row."""
         return tuple(1.0 for _ in range(self.block_size))
 
     # ---------------------------- data model -------------------------- #
 
     def structure_records(self, dataset: BlockMatrixDataset) -> List[Tuple[Any, Any]]:
+        """``((i, j), block)`` for every matrix block, sorted."""
         return sorted(dataset.blocks.items())
 
     def initial_state(self, dataset: BlockMatrixDataset) -> Dict[Any, Any]:
+        """The dataset's initial vector blocks."""
         return dict(dataset.initial_vector)
 
     # ---------------------------- reference --------------------------- #
 
     def reference(self, dataset: BlockMatrixDataset, iterations: int) -> Dict[Any, Any]:
+        """Single-machine GIM-V iterations for correctness checks."""
         state = self.initial_state(dataset)
         return self.reference_from(dataset, state, iterations)
 
@@ -127,9 +135,11 @@ class GIMV(IterativeAlgorithm):
     # ----------------------- baseline formulations -------------------- #
 
     def plain_formulation(self, dataset: BlockMatrixDataset) -> "GIMVPlainFormulation":
+        """Two-job vanilla-MapReduce GIM-V pipeline."""
         return GIMVPlainFormulation(self, dataset)
 
     def haloop_formulation(self, dataset: BlockMatrixDataset) -> "GIMVHaLoopFormulation":
+        """HaLoop GIM-V pipeline with reducer-input caching."""
         return GIMVHaLoopFormulation(self, dataset)
 
 
@@ -204,9 +214,11 @@ class GIMVPlainFormulation(PlainFormulation):
 
     @property
     def matrix_path(self) -> str:
+        """DFS path of the matrix block file."""
         return f"{self._base}/matrix"
 
     def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write matrix blocks and the initial vector to the DFS."""
         self._dfs = dfs
         dfs.write(
             self.matrix_path,
@@ -242,6 +254,7 @@ class GIMVPlainFormulation(PlainFormulation):
         return job1, job2
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """combine2 job + combineAll/assign job for one iteration."""
         job1, job2 = self._jobs(iteration)
         metrics = engine.run(job1).metrics
         metrics.merge(engine.run(job2).metrics)
@@ -249,6 +262,7 @@ class GIMVPlainFormulation(PlainFormulation):
         return metrics
 
     def current_state(self) -> Dict[Any, Any]:
+        """Vector blocks after the last completed iteration."""
         assert self._dfs is not None, "prepare() must run first"
         return {
             j: vec
@@ -267,6 +281,7 @@ class GIMVHaLoopFormulation(GIMVPlainFormulation):
         self._base = f"/{algorithm.name}/haloop"
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """Join job (cached matrix) + aggregation job for one iteration."""
         job1, job2 = self._jobs(iteration)
         metrics = engine.run_loop_job(
             job1,

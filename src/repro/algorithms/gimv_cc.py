@@ -49,6 +49,7 @@ class GIMVConnectedComponents(IterativeAlgorithm):
         return tuple(mins)
 
     def combine_all(self, values: List[Any]) -> Tuple[float, ...]:
+        """Element-wise minimum of the partial id vectors."""
         mins = [_INF] * self.block_size
         for mv in values:
             for idx, x in enumerate(mv):
@@ -59,9 +60,11 @@ class GIMVConnectedComponents(IterativeAlgorithm):
     # ------------------------------ §4 API ----------------------------- #
 
     def project(self, sk: Any) -> Any:
+        """Block column ``j`` of ``sk = (i, j)`` is the state key."""
         return sk[1]
 
     def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        """Propagate min-ids; diagonal blocks also re-emit the row's own ids."""
         i, j = sk
         out = [(i, self.combine2(sv, dv))]
         if i == j:
@@ -71,6 +74,7 @@ class GIMVConnectedComponents(IterativeAlgorithm):
         return out
 
     def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        """Element-wise minimum of the partials and the block's initial ids."""
         if not values:
             return self.init_state_value(k2)
         merged = self.combine_all(values)
@@ -78,9 +82,11 @@ class GIMVConnectedComponents(IterativeAlgorithm):
         return tuple(min(m, b) for m, b in zip(merged, base))
 
     def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        """Number of component ids that changed in the block."""
         return float(sum(1 for a, b in zip(dv_curr, dv_prev) if a != b))
 
     def init_state_value(self, dk: Any) -> Any:
+        """Every vertex starts in its own component (id = global index)."""
         return tuple(
             float(dk * self.block_size + r) for r in range(self.block_size)
         )
@@ -101,6 +107,7 @@ class GIMVConnectedComponents(IterativeAlgorithm):
         return sorted((key, tuple(sorted(triples))) for key, triples in sym.items())
 
     def initial_state(self, dataset: BlockMatrixDataset) -> Dict[Any, Any]:
+        """One initial id-vector block per block row."""
         return {
             j: self.init_state_value(j) for j in range(dataset.num_blocks)
         }

@@ -72,15 +72,18 @@ class Kmeans(IterativeAlgorithm):
     # ------------------------------ §4 API ---------------------------- #
 
     def project(self, sk: Any) -> Any:
+        """Every point depends on the single composite centroid-state key."""
         return STATE_KEY
 
     def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        """Assign the point to its nearest centroid."""
         cid = _nearest_centroid(sv, dv)
         if cid is None:
             return []
         return [(cid, (sv, 1))]
 
     def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        """New centroid: mean of the points assigned to cluster ``k2``."""
         if not values:
             return None
         return _mean(values)
@@ -102,6 +105,7 @@ class Kmeans(IterativeAlgorithm):
         state: Dict[Any, Any],
         outputs: List[Tuple[Any, Any]],
     ) -> None:
+        """Pack per-cluster centroids into the single composite state value."""
         centroids = dict(state.get(STATE_KEY, ()))
         for cid, cval in outputs:
             if cval is not None:
@@ -111,14 +115,17 @@ class Kmeans(IterativeAlgorithm):
     # ---------------------------- data model -------------------------- #
 
     def structure_records(self, dataset: PointsDataset) -> List[Tuple[Any, Any]]:
+        """``(pid, coords)`` for every point, sorted."""
         return sorted(dataset.points.items())
 
     def initial_state(self, dataset: PointsDataset) -> Dict[Any, Any]:
+        """The dataset's initial centroids under the composite key."""
         return {STATE_KEY: dataset.initial_centroids}
 
     # ---------------------------- reference --------------------------- #
 
     def reference(self, dataset: PointsDataset, iterations: int) -> Dict[Any, Any]:
+        """Single-machine Lloyd iterations for correctness checks."""
         state = self.initial_state(dataset)
         return self.reference_from(dataset, state, iterations)
 
@@ -152,9 +159,11 @@ class Kmeans(IterativeAlgorithm):
     # ----------------------- baseline formulations -------------------- #
 
     def plain_formulation(self, dataset: PointsDataset) -> "KmeansPlainFormulation":
+        """One-job-per-iteration vanilla-MapReduce k-means pipeline."""
         return KmeansPlainFormulation(self, dataset)
 
     def haloop_formulation(self, dataset: PointsDataset) -> "KmeansHaLoopFormulation":
+        """HaLoop k-means pipeline with cached points."""
         return KmeansHaLoopFormulation(self, dataset)
 
 
@@ -195,14 +204,17 @@ class KmeansPlainFormulation(PlainFormulation):
 
     @property
     def points_path(self) -> str:
+        """DFS path of the points file."""
         return f"{self._base}/points"
 
     def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write the points file and capture the starting centroids."""
         self._dfs = dfs
         dfs.write(self.points_path, sorted(self.dataset.points.items()), overwrite=True)
         self._centroids = state[STATE_KEY]
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """One assign-and-recompute job; returns its metrics."""
         centroids = self._centroids
         weight = self.algorithm.map_cpu_weight
         jobconf = JobConf(
@@ -221,6 +233,7 @@ class KmeansPlainFormulation(PlainFormulation):
         return result.metrics
 
     def current_state(self) -> Dict[Any, Any]:
+        """Centroids after the last completed iteration."""
         return {STATE_KEY: self._centroids}
 
 
@@ -238,14 +251,17 @@ class KmeansHaLoopFormulation(HaLoopFormulation):
 
     @property
     def points_path(self) -> str:
+        """DFS path of the cached points file."""
         return f"{self._base}/points"
 
     def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write the points file and capture the starting centroids."""
         self._dfs = dfs
         dfs.write(self.points_path, sorted(self.dataset.points.items()), overwrite=True)
         self._centroids = state[STATE_KEY]
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """One assign-and-recompute job over the cached points."""
         centroids = self._centroids
         weight = self.algorithm.map_cpu_weight
         jobconf = JobConf(
@@ -269,4 +285,5 @@ class KmeansHaLoopFormulation(HaLoopFormulation):
         return result.metrics
 
     def current_state(self) -> Dict[Any, Any]:
+        """Centroids after the last completed iteration."""
         return {STATE_KEY: self._centroids}

@@ -41,9 +41,11 @@ class PageRank(IterativeAlgorithm):
     # ------------------------------ §4 API ---------------------------- #
 
     def project(self, sk: Any) -> Any:
+        """Identity: vertex ``i`` is both structure and state key."""
         return sk
 
     def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        """Distribute the rank ``dv`` evenly over the vertex's out-links."""
         links = sv[0]
         if not links:
             return []
@@ -51,20 +53,25 @@ class PageRank(IterativeAlgorithm):
         return [(j, share) for j in links]
 
     def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        """Damped sum of incoming rank shares: ``d * sum + (1 - d)``."""
         return self.damping * sum(values) + (1.0 - self.damping)
 
     def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        """Absolute rank change."""
         return abs(dv_curr - dv_prev)
 
     def init_state_value(self, dk: Any) -> Any:
+        """New vertices start at rank 1.0 (paper footnote 2)."""
         return 1.0
 
     # ---------------------------- data model -------------------------- #
 
     def structure_records(self, dataset: WebGraph) -> List[Tuple[Any, Any]]:
+        """``(i, (links, payload))`` for every vertex, sorted."""
         return [(v, dataset.value_of(v)) for v in sorted(dataset.out_links)]
 
     def initial_state(self, dataset: WebGraph) -> Dict[Any, Any]:
+        """All ranks start at 1.0."""
         return {v: 1.0 for v in dataset.out_links}
 
     # ---------------------------- reference --------------------------- #
@@ -104,9 +111,11 @@ class PageRank(IterativeAlgorithm):
     # ----------------------- baseline formulations -------------------- #
 
     def plain_formulation(self, dataset: WebGraph) -> "PageRankPlainFormulation":
+        """Vanilla-MapReduce PageRank (Algorithm 2)."""
         return PageRankPlainFormulation(self, dataset)
 
     def haloop_formulation(self, dataset: WebGraph) -> "PageRankHaLoopFormulation":
+        """HaLoop join + aggregation PageRank (Algorithm 5)."""
         return PageRankHaLoopFormulation(self, dataset)
 
 
@@ -163,6 +172,7 @@ class PageRankPlainFormulation(PlainFormulation):
         self._base = f"/{algorithm.name}/plain"
 
     def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write the rank-annotated graph file for iteration 0."""
         self._dfs = dfs
         records = [
             (i, (self.dataset.value_of(i), state.get(i, self.algorithm.init_state_value(i))))
@@ -172,6 +182,7 @@ class PageRankPlainFormulation(PlainFormulation):
         self._iteration = 0
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """One rank-update job (structure rides through the shuffle)."""
         damping = self.algorithm.damping
         jobconf = JobConf(
             name=f"{self.algorithm.name}-plain-{iteration}",
@@ -186,6 +197,7 @@ class PageRankPlainFormulation(PlainFormulation):
         return result.metrics
 
     def current_state(self) -> Dict[Any, Any]:
+        """Ranks after the last completed iteration."""
         assert self._dfs is not None, "prepare() must run first"
         return {
             i: rank
@@ -245,9 +257,11 @@ class PageRankHaLoopFormulation(HaLoopFormulation):
 
     @property
     def structure_path(self) -> str:
+        """DFS path of the cached structure file."""
         return f"{self._base}/structure"
 
     def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write the structure and initial-rank files to the DFS."""
         self._dfs = dfs
         structure = [
             (i, ("N", self.dataset.value_of(i))) for i in sorted(self.dataset.out_links)
@@ -261,6 +275,7 @@ class PageRankHaLoopFormulation(HaLoopFormulation):
         self._iteration = 0
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """Join job + rank-aggregation job for one iteration."""
         damping = self.algorithm.damping
         join_job = JobConf(
             name=f"{self.algorithm.name}-haloop-join-{iteration}",
@@ -295,6 +310,7 @@ class PageRankHaLoopFormulation(HaLoopFormulation):
         return metrics
 
     def current_state(self) -> Dict[Any, Any]:
+        """Ranks after the last completed iteration."""
         assert self._dfs is not None, "prepare() must run first"
         return {
             i: rank

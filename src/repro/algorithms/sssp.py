@@ -45,20 +45,24 @@ class SSSP(IterativeAlgorithm):
     # ------------------------------ §4 API ---------------------------- #
 
     def project(self, sk: Any) -> Any:
+        """Identity: vertex ``i`` is both structure and state key."""
         return sk
 
     def map_instance(self, sk: Any, sv: Any, dk: Any, dv: Any) -> List[Tuple[Any, Any]]:
+        """Relax every out-edge: emit ``(j, dist(i) + w(i, j))``."""
         links = sv[0]
         if dv == INF or not links:
             return []
         return [(j, dv + w) for j, w in links]
 
     def reduce_instance(self, k2: Any, values: List[Any]) -> Any:
+        """Minimum candidate distance (always 0 at the source)."""
         if k2 == self.source:
             return 0.0
         return min(values) if values else INF
 
     def difference(self, dv_curr: Any, dv_prev: Any) -> float:
+        """Distance change; transitions to/from infinity count as a big change."""
         if dv_curr == dv_prev:
             return 0.0
         if math.isinf(dv_curr) or math.isinf(dv_prev):
@@ -66,14 +70,17 @@ class SSSP(IterativeAlgorithm):
         return abs(dv_curr - dv_prev)
 
     def init_state_value(self, dk: Any) -> Any:
+        """0 at the source, infinity elsewhere."""
         return 0.0 if dk == self.source else INF
 
     # ---------------------------- data model -------------------------- #
 
     def structure_records(self, dataset: WeightedGraph) -> List[Tuple[Any, Any]]:
+        """``(v, (wlinks, payload))`` for every vertex, sorted."""
         return [(v, dataset.value_of(v)) for v in sorted(dataset.out_links)]
 
     def initial_state(self, dataset: WeightedGraph) -> Dict[Any, Any]:
+        """Source at distance 0, every other vertex at infinity."""
         return {
             v: (0.0 if v == dataset.source else INF) for v in dataset.out_links
         }
@@ -81,6 +88,7 @@ class SSSP(IterativeAlgorithm):
     # ---------------------------- reference --------------------------- #
 
     def reference(self, dataset: WeightedGraph, iterations: int) -> Dict[Any, Any]:
+        """Single-machine Bellman-Ford-style iterations for checks."""
         state = self.initial_state(dataset)
         return self.reference_from(dataset, state, iterations)
 
@@ -114,9 +122,11 @@ class SSSP(IterativeAlgorithm):
     # ----------------------- baseline formulations -------------------- #
 
     def plain_formulation(self, dataset: WeightedGraph) -> "SSSPPlainFormulation":
+        """Vanilla-MapReduce SSSP pipeline."""
         return SSSPPlainFormulation(self, dataset)
 
     def haloop_formulation(self, dataset: WeightedGraph) -> "SSSPHaLoopFormulation":
+        """HaLoop SSSP pipeline with cached structure."""
         return SSSPHaLoopFormulation(self, dataset)
 
 
@@ -167,6 +177,7 @@ class SSSPPlainFormulation(PlainFormulation):
         self._base = f"/{algorithm.name}/plain"
 
     def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write the distance-annotated graph file for iteration 0."""
         self._dfs = dfs
         records = [
             (i, (self.dataset.value_of(i), state.get(i, self.algorithm.init_state_value(i))))
@@ -176,6 +187,7 @@ class SSSPPlainFormulation(PlainFormulation):
         self._iteration = 0
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """One relaxation job; returns its metrics."""
         source = self.algorithm.source
         jobconf = JobConf(
             name=f"sssp-plain-{iteration}",
@@ -190,6 +202,7 @@ class SSSPPlainFormulation(PlainFormulation):
         return result.metrics
 
     def current_state(self) -> Dict[Any, Any]:
+        """Distances after the last completed iteration."""
         assert self._dfs is not None, "prepare() must run first"
         return {
             i: dist
@@ -241,9 +254,11 @@ class SSSPHaLoopFormulation(HaLoopFormulation):
 
     @property
     def structure_path(self) -> str:
+        """DFS path of the cached structure file."""
         return f"{self._base}/structure"
 
     def prepare(self, dfs: Any, state: Dict[Any, Any]) -> None:
+        """Write the structure and initial-distance files to the DFS."""
         self._dfs = dfs
         dfs.write(
             self.structure_path,
@@ -261,6 +276,7 @@ class SSSPHaLoopFormulation(HaLoopFormulation):
         self._iteration = 0
 
     def run_iteration(self, engine: Any, iteration: int) -> Any:
+        """Join job + relaxation job for one iteration."""
         source = self.algorithm.source
         join_job = JobConf(
             name=f"sssp-haloop-join-{iteration}",
@@ -293,6 +309,7 @@ class SSSPHaLoopFormulation(HaLoopFormulation):
         return metrics
 
     def current_state(self) -> Dict[Any, Any]:
+        """Distances after the last completed iteration."""
         assert self._dfs is not None, "prepare() must run first"
         return {
             i: dist

@@ -12,6 +12,7 @@ class WordCountMapper(Mapper):
     """Emits ``(word, 1)`` per word occurrence."""
 
     def map(self, key: Any, value: Any, ctx: Context) -> None:
+        """Emit ``(word, 1)`` for every whitespace-separated token."""
         for word in value.split():
             ctx.emit(word, 1)
 

@@ -116,6 +116,17 @@ class CostModel:
         """One MRBG-Store append-buffer flush (sequential write)."""
         return self.store_io_overhead_s + nbytes / self.disk_write_bw
 
+    def cross_shard_read_time(self, nbytes: int) -> float:
+        """Penalty for running a shard task away from the shard's owner.
+
+        A store shard lives on the local disk of exactly one worker; a
+        maintenance task scheduled on any other worker must ship the
+        shard's bytes over the network first.  Charged at *unscaled*
+        rates like all MRBG-Store I/O (the store operates on real bytes;
+        engines bridge elapsed time with ``data_scale``).
+        """
+        return self.net_latency_s + nbytes / self.net_bw
+
     def scaled(self, **overrides: float) -> "CostModel":
         """Return a copy with the given fields overridden."""
         return replace(self, **overrides)

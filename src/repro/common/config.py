@@ -41,6 +41,14 @@ DEFAULT_APPEND_BUFFER_SIZE = _env_int("REPRO_APPEND_BUFFER_SIZE", 1 * MB)
 #: ``REPRO_PREFETCH_LOOKAHEAD`` environment variable.
 DEFAULT_PREFETCH_LOOKAHEAD = _env_int("REPRO_PREFETCH_LOOKAHEAD", 256)
 
+#: Number of shards each MRBG-Store is split into.  ``1`` keeps the
+#: paper's monolithic per-Reduce-task store; larger values split every
+#: store into that many independent :class:`~repro.mrbgraph.store.MRBGStore`
+#: shards whose maintenance (merge, compaction, index flush) can run in
+#: parallel on the host execution backends.  Overridable via the
+#: ``REPRO_SHARDS`` environment variable.
+DEFAULT_NUM_SHARDS = _env_int("REPRO_SHARDS", 1)
+
 #: Change-propagation-control filter threshold default (§8.5).
 DEFAULT_FILTER_THRESHOLD = 1.0
 

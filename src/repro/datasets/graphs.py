@@ -34,10 +34,12 @@ class WebGraph:
 
     @property
     def num_vertices(self) -> int:
+        """Number of vertices."""
         return len(self.out_links)
 
     @property
     def num_edges(self) -> int:
+        """Total number of directed edges."""
         return sum(len(links) for links in self.out_links.values())
 
     def value_of(self, v: int) -> Tuple[Tuple[int, ...], str]:
@@ -59,10 +61,12 @@ class WeightedGraph:
 
     @property
     def num_vertices(self) -> int:
+        """Number of vertices."""
         return len(self.out_links)
 
     @property
     def num_edges(self) -> int:
+        """Total number of weighted edges."""
         return sum(len(links) for links in self.out_links.values())
 
     def value_of(self, v: int) -> Tuple[Tuple[Tuple[int, float], ...], str]:
@@ -70,6 +74,7 @@ class WeightedGraph:
         return (self.out_links[v], self.payload)
 
     def copy(self) -> "WeightedGraph":
+        """Deep-enough copy (link tuples are immutable)."""
         return WeightedGraph(dict(self.out_links), self.source, self.payload)
 
 
@@ -82,6 +87,7 @@ class GraphDelta:
 
     @property
     def num_changed_records(self) -> int:
+        """Number of ``(K1, (V1, op))`` records in the delta."""
         return len(self.records)
 
 

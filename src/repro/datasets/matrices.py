@@ -31,9 +31,11 @@ class BlockMatrixDataset:
 
     @property
     def nnz(self) -> int:
+        """Total number of nonzero entries across all blocks."""
         return sum(len(triples) for triples in self.blocks.values())
 
     def copy(self) -> "BlockMatrixDataset":
+        """Deep-enough copy of the block map and initial vector."""
         return BlockMatrixDataset(
             dict(self.blocks), dict(self.initial_vector), self.num_blocks, self.block_size
         )

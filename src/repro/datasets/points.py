@@ -27,9 +27,11 @@ class PointsDataset:
 
     @property
     def num_points(self) -> int:
+        """Number of points."""
         return len(self.points)
 
     def copy(self) -> "PointsDataset":
+        """Deep-enough copy of the points and initial centroids."""
         return PointsDataset(dict(self.points), self.initial_centroids, self.dim, self.k)
 
 

@@ -29,6 +29,7 @@ class TweetDataset:
 
     @property
     def num_tweets(self) -> int:
+        """Number of tweets."""
         return len(self.tweets)
 
 

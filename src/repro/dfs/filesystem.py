@@ -30,6 +30,7 @@ class Block:
 
     @property
     def num_records(self) -> int:
+        """Number of records in this block."""
         return len(self.records)
 
 
@@ -42,10 +43,12 @@ class DFSFile:
 
     @property
     def size_bytes(self) -> int:
+        """Total simulated size of all blocks, in bytes."""
         return sum(block.size_bytes for block in self.blocks)
 
     @property
     def num_records(self) -> int:
+        """Total record count across all blocks."""
         return sum(block.num_records for block in self.blocks)
 
     def records(self) -> Iterator[Tuple[Any, Any]]:

@@ -76,6 +76,7 @@ class ProcessBackend(ExecutionBackend):
         return True
 
     def close(self) -> None:
+        """Shut down the process pool."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

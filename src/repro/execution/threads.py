@@ -47,6 +47,7 @@ class ThreadBackend(ExecutionBackend):
         return list(self._ensure_pool().map(fn, payloads))
 
     def close(self) -> None:
+        """Shut down the thread pool."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

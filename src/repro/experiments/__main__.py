@@ -39,6 +39,7 @@ EXPERIMENTS = (
 
 
 def main(argv: list) -> int:
+    """Run every registered experiment at the given scale."""
     scale = argv[1] if len(argv) > 1 else "test"
     for label, runner in EXPERIMENTS:
         print(f"\n### {label} (scale={scale})\n")

@@ -117,6 +117,7 @@ def run_ablation(scale: str = "small", fraction: float = 0.079, seed: int = 5) -
 
 
 def main() -> None:
+    """CLI entry point: print the Incoop-ablation table."""
     print(run_ablation().to_text())
 
 

@@ -105,6 +105,7 @@ def run_fig10(scale: str = "small", change_fraction: float = 0.10, seed: int = 7
 
 
 def main() -> None:
+    """CLI entry point: print the fig-10 CPC table."""
     print(run_fig10().to_text())
 
 

@@ -83,6 +83,7 @@ def run_fig11(scale: str = "small", change_fraction: float = 0.01, seed: int = 7
 
 
 def main() -> None:
+    """CLI entry point: print the fig-11 change-propagation table."""
     print(run_fig11().to_text())
 
 

@@ -112,6 +112,7 @@ def run_fig12(scale: str = "small", seed: int = 7) -> ExperimentResult:
 
 
 def main() -> None:
+    """CLI entry point: print the fig-12 Spark-comparison table."""
     print(run_fig12().to_text())
 
 

@@ -127,6 +127,7 @@ def run_fig13_timeline(scale: str = "test", seed: int = 7, iterations: int = 7):
 
 
 def main() -> None:
+    """CLI entry point: print the fig-13 fault-tolerance table."""
     print(run_fig13().to_text())
 
 

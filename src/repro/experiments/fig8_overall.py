@@ -225,6 +225,7 @@ def run_fig8(
 
 
 def main() -> None:
+    """CLI entry point: print the fig-8 overall-runtime table."""
     print(run_fig8().to_text())
 
 

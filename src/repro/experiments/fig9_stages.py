@@ -115,6 +115,7 @@ def run_fig9(scale: str = "small", change_fraction: float = 0.10, seed: int = 7)
 
 
 def main() -> None:
+    """CLI entry point: print the fig-9 stage-breakdown table."""
     print(run_fig9().to_text())
 
 

@@ -76,6 +76,7 @@ def run_apriori_onestep(
 
 
 def main() -> None:
+    """CLI entry point: print the one-step Apriori table."""
     print(run_apriori_onestep().to_text())
 
 

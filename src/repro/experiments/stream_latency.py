@@ -209,6 +209,7 @@ def run_stream_latency(
 
 
 def main() -> None:
+    """CLI entry point: print the streaming latency/backlog table."""
     print(run_stream_latency().to_text())
 
 

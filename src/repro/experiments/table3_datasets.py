@@ -86,6 +86,7 @@ def run_table3(scale: str = "small", seed: int = 7) -> ExperimentResult:
 
 
 def main() -> None:
+    """CLI entry point: print the Table-3 dataset statistics."""
     print(run_table3().to_text())
 
 

@@ -105,6 +105,7 @@ def run_table4(scale: str = "small", change_fraction: float = 0.10, seed: int = 
 
 
 def main() -> None:
+    """CLI entry point: print the Table-4 MRBG-Store comparison."""
     print(run_table4().to_text())
 
 

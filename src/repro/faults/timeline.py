@@ -21,6 +21,7 @@ class TaskEvent:
 
     @property
     def failed(self) -> bool:
+        """Whether this event includes an injected failure."""
         return self.failed_at is not None
 
     @property
@@ -38,6 +39,7 @@ class Timeline:
     events: List[TaskEvent] = field(default_factory=list)
 
     def add(self, event: TaskEvent) -> None:
+        """Append one task event."""
         self.events.append(event)
 
     def failures(self) -> List[TaskEvent]:

@@ -180,12 +180,15 @@ class I2MREngine:
         policy_factory: Optional[PolicyFactory] = None,
         store_root: Optional[str] = None,
         executor: ExecutorSpec = None,
+        num_shards: Optional[int] = None,
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs
         self.policy_factory = policy_factory
         self.store_root = store_root
         self.executors = ExecutorSelector(executor)
+        #: shards per preserved MRBG-Store (None = REPRO_SHARDS default).
+        self.num_shards = num_shards
 
     def backend_for(self, job: IterativeJob) -> ExecutionBackend:
         """The execution backend this job's task batches run on."""
@@ -270,6 +273,9 @@ class I2MREngine:
             root_dir=self.store_root,
             policy_factory=self.policy_factory,
             cost_model=cost.unscaled(),
+            num_shards=self.num_shards,
+            store_executor=self.backend_for(job),
+            num_workers=self.cluster.num_workers,
         )
         if last_chunks is not None:
             for q, chunk_list in enumerate(last_chunks):

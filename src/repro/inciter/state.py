@@ -34,6 +34,7 @@ class PreservedIterState:
 
     @property
     def num_partitions(self) -> int:
+        """Number of state partitions."""
         return self.parts.num_partitions
 
     def close(self) -> None:

@@ -30,6 +30,7 @@ class AccumulatorReducer(Reducer):
         raise NotImplementedError
 
     def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        """Fold the group with :meth:`accumulate` and emit the single result."""
         if not values:
             return
         acc = values[0]
@@ -42,6 +43,7 @@ class SumReducer(AccumulatorReducer):
     """Integer/float sum — WordCount's accumulator (§3.5)."""
 
     def accumulate(self, old: Any, new: Any) -> Any:
+        """``old + new``."""
         return old + new
 
 
@@ -49,6 +51,7 @@ class MaxReducer(AccumulatorReducer):
     """Maximum accumulator (§3.5 lists max among the distributive ops)."""
 
     def accumulate(self, old: Any, new: Any) -> Any:
+        """``max(old, new)``."""
         return old if old >= new else new
 
 
@@ -56,6 +59,7 @@ class MinReducer(AccumulatorReducer):
     """Minimum accumulator."""
 
     def accumulate(self, old: Any, new: Any) -> Any:
+        """``min(old, new)``."""
         return old if old <= new else new
 
 
@@ -68,6 +72,7 @@ class AvgPartialReducer(AccumulatorReducer):
     """
 
     def accumulate(self, old: Any, new: Any) -> Any:
+        """Pairwise ``(sum, count)`` addition."""
         return (old[0] + new[0], old[1] + new[1])
 
     @staticmethod

@@ -173,14 +173,23 @@ class IncrMREngine(MapReduceEngine):
         jobconf: JobConf,
         state: Optional[PreservedJobState] = None,
         accumulator: bool = False,
+        num_shards: Optional[int] = None,
     ) -> Tuple[JobResult, PreservedJobState]:
-        """Run job A, preserving fine-grain state for future deltas."""
+        """Run job A, preserving fine-grain state for future deltas.
+
+        ``num_shards`` splits each reduce partition's MRBG-Store into
+        that many parallel-maintained shards (None = the ``REPRO_SHARDS``
+        default); pass an explicit ``state`` to control sharding fully.
+        """
         jobconf.validate()
         if state is None:
             state = PreservedJobState(
                 num_reducers=jobconf.num_reducers,
                 cost_model=self.cluster.cost_model.unscaled(),
                 accumulator=accumulator,
+                num_shards=num_shards,
+                store_executor=self.backend_for(jobconf),
+                num_workers=self.cluster.num_workers,
             )
         if accumulator and not isinstance(jobconf.reducer(), AccumulatorReducer):
             raise InvalidJobConf("accumulator mode requires an AccumulatorReducer")

@@ -13,7 +13,9 @@ import tempfile
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.costmodel import CostModel
+from repro.common import config
 from repro.common.kvpair import sort_key
+from repro.mrbgraph.sharding import ShardedMRBGStore, StoreLike
 from repro.mrbgraph.store import MRBGStore, StoreMetrics
 from repro.mrbgraph.windows import MultiDynamicWindowPolicy, WindowPolicy
 
@@ -21,7 +23,14 @@ PolicyFactory = Callable[[], WindowPolicy]
 
 
 class PreservedJobState:
-    """Fine-grain (or accumulator) state preserved between jobs."""
+    """Fine-grain (or accumulator) state preserved between jobs.
+
+    With ``num_shards > 1`` (default: ``REPRO_SHARDS`` via
+    :data:`repro.common.config.DEFAULT_NUM_SHARDS`) each reduce
+    partition's store is a :class:`~repro.mrbgraph.sharding.ShardedMRBGStore`
+    whose maintenance fans out on ``store_executor``; the engines use
+    either store kind transparently.
+    """
 
     def __init__(
         self,
@@ -30,6 +39,9 @@ class PreservedJobState:
         policy_factory: Optional[PolicyFactory] = None,
         cost_model: Optional[CostModel] = None,
         accumulator: bool = False,
+        num_shards: Optional[int] = None,
+        store_executor: Any = None,
+        num_workers: Optional[int] = None,
     ) -> None:
         self.num_reducers = num_reducers
         self.accumulator = accumulator
@@ -38,7 +50,16 @@ class PreservedJobState:
         os.makedirs(self.root_dir, exist_ok=True)
         self._policy_factory = policy_factory or MultiDynamicWindowPolicy
         self._cost_model = cost_model or CostModel()
-        self._stores: Dict[int, MRBGStore] = {}
+        self.num_shards = (
+            config.DEFAULT_NUM_SHARDS if num_shards is None else num_shards
+        )
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self._store_executor = store_executor
+        #: simulated workers shard placement spreads over (the engines
+        #: pass their cluster's size; None = DEFAULT_NUM_WORKERS).
+        self._num_workers = num_workers
+        self._stores: Dict[int, StoreLike] = {}
         #: fine-grain mode: reduce-instance key -> that instance's outputs.
         self.outputs: Dict[Any, List[Tuple[Any, Any]]] = {}
         #: accumulator mode: output key -> accumulated value.
@@ -49,19 +70,48 @@ class PreservedJobState:
     # stores                                                             #
     # ------------------------------------------------------------------ #
 
-    def store_for(self, partition: int) -> MRBGStore:
-        """The MRBG-Store of reduce task ``partition`` (created lazily)."""
+    def store_for(self, partition: int) -> StoreLike:
+        """The MRBG-Store of reduce task ``partition`` (created lazily).
+
+        A partition whose files were persisted by :meth:`close` is
+        *reopened* (shard manifest / ``mrbg.idx`` reloaded) rather than
+        recreated empty.
+        """
         if partition not in self._stores:
             directory = os.path.join(self.root_dir, f"part-{partition:05d}")
-            self._stores[partition] = MRBGStore(
-                directory,
-                policy=self._policy_factory(),
-                cost_model=self._cost_model,
-            )
+            if os.path.exists(os.path.join(directory, "mrbg.shards")):
+                self._stores[partition] = ShardedMRBGStore.open(
+                    directory,
+                    policy_factory=self._policy_factory,
+                    cost_model=self._cost_model,
+                    executor=self._store_executor,
+                    num_workers=self._num_workers,
+                )
+            elif self.num_shards > 1:
+                self._stores[partition] = ShardedMRBGStore(
+                    directory,
+                    num_shards=self.num_shards,
+                    policy_factory=self._policy_factory,
+                    cost_model=self._cost_model,
+                    executor=self._store_executor,
+                    num_workers=self._num_workers,
+                )
+            elif os.path.exists(os.path.join(directory, "mrbg.idx")):
+                self._stores[partition] = MRBGStore.open(
+                    directory,
+                    policy=self._policy_factory(),
+                    cost_model=self._cost_model,
+                )
+            else:
+                self._stores[partition] = MRBGStore(
+                    directory,
+                    policy=self._policy_factory(),
+                    cost_model=self._cost_model,
+                )
         return self._stores[partition]
 
     @property
-    def stores(self) -> Dict[int, MRBGStore]:
+    def stores(self) -> Dict[int, StoreLike]:
         """All materialized stores, keyed by reduce partition."""
         return dict(self._stores)
 

@@ -87,6 +87,7 @@ class IdentityMapper(Mapper):
     """Emits every input record unchanged (Hadoop's default mapper)."""
 
     def map(self, key: Any, value: Any, ctx: Context) -> None:
+        """Emit the record unchanged."""
         ctx.emit(key, value)
 
 
@@ -94,6 +95,7 @@ class IdentityReducer(Reducer):
     """Emits every grouped value unchanged under its key."""
 
     def reduce(self, key: Any, values: List[Any], ctx: Context) -> None:
+        """Emit every grouped value unchanged under its key."""
         for value in values:
             ctx.emit(key, value)
 

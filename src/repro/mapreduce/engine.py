@@ -50,6 +50,7 @@ class MapInputSplit:
 
     @classmethod
     def from_block(cls, block: Block) -> "MapInputSplit":
+        """Build a split covering one DFS block."""
         return cls(
             records=block.records,
             size_bytes=block.size_bytes,

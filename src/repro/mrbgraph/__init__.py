@@ -1,6 +1,13 @@
 """MRBGraph abstraction and the on-disk MRBG-Store (paper §3.2–3.4, §5.2)."""
 
 from repro.mrbgraph.graph import DeltaEdge, Edge, apply_delta, group_delta_by_key
+from repro.mrbgraph.sharding import (
+    HashShardRouter,
+    RangeShardRouter,
+    ShardedMRBGStore,
+    ShardRouter,
+    StoreLike,
+)
 from repro.mrbgraph.store import MRBGStore, StoreMetrics
 from repro.mrbgraph.windows import (
     ChunkLocation,
@@ -19,6 +26,11 @@ __all__ = [
     "group_delta_by_key",
     "MRBGStore",
     "StoreMetrics",
+    "HashShardRouter",
+    "RangeShardRouter",
+    "ShardRouter",
+    "ShardedMRBGStore",
+    "StoreLike",
     "ChunkLocation",
     "IndexOnlyPolicy",
     "MultiDynamicWindowPolicy",

@@ -37,6 +37,105 @@ _DATA_FILE = "mrbg.dat"
 _INDEX_FILE = "mrbg.idx"
 
 
+def encode_index(index: Dict[Any, ChunkLocation], num_batches: int) -> bytes:
+    """Encode a store's hash index in the streamed ``mrbg.idx`` layout.
+
+    A header value carrying ``num_batches`` and the entry count, then one
+    ``(key, offset, length, batch)`` tuple per live chunk — the exact
+    bytes :meth:`MRBGStore.save_index` persists.
+    """
+    return encode_index_entries(
+        [(key, loc.offset, loc.length, loc.batch) for key, loc in index.items()],
+        num_batches,
+    )
+
+
+def encode_index_entries(
+    entries: List[Tuple[Any, int, int, int]], num_batches: int
+) -> bytes:
+    """Encode pre-flattened ``(key, offset, length, batch)`` index rows.
+
+    The plain-data form of :func:`encode_index`: shard index flushes ship
+    these rows across thread/process boundaries (a live index holds
+    unpicklable slotted locations) and still produce byte-identical
+    ``mrbg.idx`` files.
+    """
+    header = {"num_batches": num_batches, "count": len(entries)}
+    return encode_many([header] + [tuple(entry) for entry in entries])
+
+
+def decode_index(raw: bytes) -> Tuple[Dict[Any, ChunkLocation], int]:
+    """Decode ``mrbg.idx`` bytes into ``(index, num_batches)``.
+
+    Reads both index layouts: the streamed format :func:`encode_index`
+    writes and the legacy single-dict encoding of older stores.
+    """
+    values = decode_many(raw)
+    if not values:
+        return {}, 0
+    header = values[0]
+    if isinstance(header, dict) and "entries" in header:
+        entries = header["entries"]  # legacy one-dict layout
+    else:
+        entries = values[1:]
+    index = {
+        key: ChunkLocation(offset, length, batch)
+        for key, offset, length, batch in entries
+    }
+    return index, header["num_batches"]
+
+
+def compact_data_file(
+    data_path: str,
+    locations: List[ChunkLocation],
+    append_buffer_size: int,
+) -> Tuple[List[ChunkLocation], int]:
+    """Stream-rewrite live chunks into a compacted data file.
+
+    ``locations`` is the live-chunk placement list in K2 order.  The
+    rewrite copies each chunk into a sibling temp file (coalescing
+    physically contiguous chunks into single reads, flushing the output
+    in ``append_buffer_size`` batches) and atomically replaces
+    ``data_path``.  Returns the new locations (same order, batch 0) and
+    the compacted file size.  Pure function of the file content, so
+    per-shard compactions can run concurrently on any execution backend
+    with byte-identical results.
+    """
+    tmp_path = data_path + ".compact"
+    new_locations: List[ChunkLocation] = []
+    out_offset = 0
+    with open(data_path, "rb") as src, open(tmp_path, "wb") as out:
+        buffer = bytearray()
+        i = 0
+        while i < len(locations):
+            # Coalesce a run of chunks that are contiguous on disk in
+            # key order (one merge session appends in exactly that
+            # order, so whole batches coalesce into single reads).
+            run_start = locations[i].offset
+            run_end = run_start + locations[i].length
+            j = i + 1
+            while (
+                j < len(locations)
+                and locations[j].offset == run_end
+                and run_end + locations[j].length - run_start <= append_buffer_size
+            ):
+                run_end += locations[j].length
+                j += 1
+            src.seek(run_start)
+            buffer += src.read(run_end - run_start)
+            for k in range(i, j):
+                new_locations.append(ChunkLocation(out_offset, locations[k].length, 0))
+                out_offset += locations[k].length
+            if len(buffer) >= append_buffer_size:
+                out.write(buffer)
+                buffer.clear()
+            i = j
+        if buffer:
+            out.write(buffer)
+    os.replace(tmp_path, data_path)
+    return new_locations, out_offset
+
+
 @dataclass
 class StoreMetrics:
     """Measured and simulated I/O statistics of one MRBG-Store."""
@@ -150,18 +249,7 @@ class MRBGStore:
             store.metrics.io_reads += 1
             store.metrics.bytes_read += len(raw)
             store.metrics.read_time_s += store.cost_model.store_read_time(len(raw))
-            values = decode_many(raw)
-            if values:
-                header = values[0]
-                if isinstance(header, dict) and "entries" in header:
-                    entries = header["entries"]  # legacy one-dict layout
-                else:
-                    entries = values[1:]
-                store._num_batches = header["num_batches"]
-                store._index = {
-                    key: ChunkLocation(offset, length, batch)
-                    for key, offset, length, batch in entries
-                }
+            store._index, store._num_batches = decode_index(raw)
         return store
 
     def save_index(self) -> int:
@@ -174,14 +262,7 @@ class MRBGStore:
         write is charged to the store metrics and the cost model.
         """
         self._check_open()
-        header = {"num_batches": self._num_batches, "count": len(self._index)}
-        raw = encode_many(
-            [header]
-            + [
-                (key, loc.offset, loc.length, loc.batch)
-                for key, loc in self._index.items()
-            ]
-        )
+        raw = encode_index(self._index, self._num_batches)
         with open(os.path.join(self.directory, _INDEX_FILE), "wb") as fh:
             fh.write(raw)
         self.metrics.io_writes += 1
@@ -430,43 +511,12 @@ class MRBGStore:
 
         keys = self.keys()
         locations = [self._index[key] for key in keys]
-        new_index: Dict[Any, ChunkLocation] = {}
-        out_offset = 0
-        tmp_path = self._data_path + ".compact"
-        with open(tmp_path, "wb") as out:
-            buffer = bytearray()
-            i = 0
-            while i < len(keys):
-                # Coalesce a run of chunks that are contiguous on disk in
-                # key order (one merge session appends in exactly that
-                # order, so whole batches coalesce into single reads).
-                run_start = locations[i].offset
-                run_end = run_start + locations[i].length
-                j = i + 1
-                while (
-                    j < len(keys)
-                    and locations[j].offset == run_end
-                    and run_end + locations[j].length - run_start
-                    <= self.append_buffer_size
-                ):
-                    run_end += locations[j].length
-                    j += 1
-                self._fh.seek(run_start)
-                buffer += self._fh.read(run_end - run_start)
-                for k in range(i, j):
-                    new_index[keys[k]] = ChunkLocation(
-                        out_offset, locations[k].length, 0
-                    )
-                    out_offset += locations[k].length
-                if len(buffer) >= self.append_buffer_size:
-                    out.write(buffer)
-                    buffer.clear()
-                i = j
-            if buffer:
-                out.write(buffer)
+        new_locations, out_offset = compact_data_file(
+            self._data_path, locations, self.append_buffer_size
+        )
+        new_index = dict(zip(keys, new_locations))
 
         self._fh.close()
-        os.replace(tmp_path, self._data_path)
         self._fh = open(self._data_path, "r+b")
         self._file_size = out_offset
         self._index = new_index

@@ -95,6 +95,7 @@ class IndexOnlyPolicy:
         upcoming_same_batch: Sequence[ChunkLocation],
         file_size: int,
     ) -> ReadPlan:
+        """Plan a read covering exactly the missed chunk."""
         plan = _cap(target.offset, target.length, file_size)
         plan.batch = target.batch
         return plan
@@ -121,6 +122,7 @@ class SingleFixedWindowPolicy:
         upcoming_same_batch: Sequence[ChunkLocation],
         file_size: int,
     ) -> ReadPlan:
+        """Plan one ``window_size`` read starting at the missed chunk."""
         nbytes = max(self.window_size, target.length)
         plan = _cap(target.offset, nbytes, file_size)
         plan.batch = target.batch
@@ -143,6 +145,7 @@ class MultiFixedWindowPolicy:
         upcoming_same_batch: Sequence[ChunkLocation],
         file_size: int,
     ) -> ReadPlan:
+        """Plan one ``window_size`` read in the missed chunk's batch."""
         nbytes = max(self.window_size, target.length)
         plan = _cap(target.offset, nbytes, file_size)
         plan.batch = target.batch
@@ -179,6 +182,7 @@ class MultiDynamicWindowPolicy:
         upcoming_same_batch: Sequence[ChunkLocation],
         file_size: int,
     ) -> ReadPlan:
+        """Extend the window over upcoming same-batch chunks (Algorithm 1)."""
         window = target.length
         end = target.offset + target.length
         for nxt in upcoming_same_batch:

@@ -77,6 +77,7 @@ class CountBatcher(BatchPolicy):
         next_arrival_s: float,
         next_bytes: int,
     ) -> bool:
+        """Close once the open batch holds ``max_records`` records."""
         return num_records >= self.max_records
 
 
@@ -101,6 +102,7 @@ class ByteBudgetBatcher(BatchPolicy):
         next_arrival_s: float,
         next_bytes: int,
     ) -> bool:
+        """Close when the next record would push the batch over budget."""
         return num_bytes + next_bytes > self.max_bytes
 
 
@@ -128,6 +130,7 @@ class TimeWindowBatcher(BatchPolicy):
         next_arrival_s: float,
         next_bytes: int,
     ) -> bool:
+        """Close when the next record falls past the window boundary."""
         return next_arrival_s >= first_arrival_s + self.window_s
 
 
@@ -163,6 +166,7 @@ class BackpressureBatcher(BatchPolicy):
         self.name = f"backpressure({min_records}..{max_records})"
 
     def reset(self) -> None:
+        """Return the adaptive target to ``min_records``."""
         self.target = self.min_records
 
     def should_close(
@@ -173,9 +177,11 @@ class BackpressureBatcher(BatchPolicy):
         next_arrival_s: float,
         next_bytes: int,
     ) -> bool:
+        """Close once the open batch reaches the current adaptive target."""
         return num_records >= self.target
 
     def observe(self, feedback: BatchFeedback) -> None:
+        """Grow the target under backlog pressure, shrink once drained."""
         if feedback.backlog_records > self.high_water:
             self.target = min(
                 self.max_records, max(self.target + 1, int(self.target * self.growth))

@@ -32,6 +32,7 @@ from repro.inciter.engine import I2MREngine, I2MROptions
 from repro.inciter.state import PreservedIterState
 from repro.iterative.api import IterativeJob
 from repro.mapreduce.job import JobConf
+from repro.mrbgraph.sharding import ShardedMRBGStore
 
 
 @dataclass
@@ -44,6 +45,37 @@ class BatchOutcome:
     fell_back: bool = False
     #: incremental iterations the engine ran (one-step jobs report 1).
     iterations: int = 1
+    #: store shards whose files the batch touched (sharded stores only).
+    shards_touched: int = 0
+
+
+def _shard_activity(state: PreservedJobState) -> Dict[Tuple[int, int], Tuple[int, int]]:
+    """Per-(partition, shard) I/O odometer of a preserved state's stores.
+
+    Only sharded stores contribute; comparing two snapshots taken around
+    a batch reveals which shards the batch's delta actually reached —
+    the per-shard routing the streaming layer reports per batch.
+    """
+    activity: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for partition, store in state.stores.items():
+        if not isinstance(store, ShardedMRBGStore):
+            continue
+        for sid, metrics in enumerate(store.shard_metrics()):
+            activity[(partition, sid)] = (
+                metrics.bytes_read + metrics.bytes_written,
+                metrics.io_reads + metrics.io_writes,
+            )
+    return activity
+
+
+def _shards_touched(
+    before: Dict[Tuple[int, int], Tuple[int, int]],
+    after: Dict[Tuple[int, int], Tuple[int, int]],
+) -> int:
+    """How many (partition, shard) odometers moved between snapshots."""
+    return sum(
+        1 for key, counters in after.items() if counters != before.get(key, (0, 0))
+    )
 
 
 class StreamConsumer:
@@ -95,13 +127,21 @@ class IterativeStreamConsumer(StreamConsumer):
         job: IterativeJob,
         options: Optional[I2MROptions] = None,
         executor: Any = None,
+        num_shards: Optional[int] = None,
     ) -> "IterativeStreamConsumer":
-        """Run the initial converged job and wrap its preserved state."""
-        engine = I2MREngine(cluster, dfs, executor=executor)
+        """Run the initial converged job and wrap its preserved state.
+
+        ``num_shards`` shards each partition's preserved MRBG-Store so
+        batches apply their deltas shard-parallel (None = the
+        ``REPRO_SHARDS`` default).
+        """
+        engine = I2MREngine(cluster, dfs, executor=executor, num_shards=num_shards)
         _, prev = engine.run_initial(job)
         return cls(engine, job, prev, options, owns_state=True)
 
     def process_batch(self, records: List[DeltaRecord]) -> BatchOutcome:
+        """Run one incremental iterative job over the micro-batch."""
+        before = _shard_activity(self.prev.stores)
         result = self.engine.run_incremental(
             self.job, list(records), self.prev, self.options
         )
@@ -109,12 +149,17 @@ class IterativeStreamConsumer(StreamConsumer):
             processing_s=result.total_time,
             fell_back=result.fell_back,
             iterations=result.iterations,
+            shards_touched=_shards_touched(
+                before, _shard_activity(self.prev.stores)
+            ),
         )
 
     def state(self) -> Dict[Any, Any]:
+        """The current converged algorithm state."""
         return dict(self.prev.state)
 
     def close(self) -> None:
+        """Release preserved state and engine pools (when owned)."""
         if self._owns_state:
             self.prev.cleanup()
             self.engine.close()
@@ -155,17 +200,22 @@ class OneStepStreamConsumer(StreamConsumer):
         jobconf: JobConf,
         accumulator: bool = False,
         staging_prefix: str = "/stream/delta",
+        num_shards: Optional[int] = None,
     ) -> "OneStepStreamConsumer":
         """Run job A once and wrap its preserved fine-grain state."""
         engine = IncrMREngine(cluster, dfs)
-        _, state = engine.run_initial(jobconf, accumulator=accumulator)
+        _, state = engine.run_initial(
+            jobconf, accumulator=accumulator, num_shards=num_shards
+        )
         return cls(engine, jobconf, state, staging_prefix, owns_state=True)
 
     def process_batch(self, records: List[DeltaRecord]) -> BatchOutcome:
+        """Stage the micro-batch as a DFS delta file and process it."""
         path = f"{self.staging_prefix}/batch-{self._seq:06d}"
         self._seq += 1
         dfs = self.engine.dfs
         dfs.write(path, delta_to_dfs_records(records))
+        before = _shard_activity(self.preserved)
         try:
             result = self.engine.run_incremental(self.jobconf, path, self.preserved)
         finally:
@@ -175,9 +225,13 @@ class OneStepStreamConsumer(StreamConsumer):
             staging = f"{path}.plain"  # accumulator mode stages a second file
             if dfs.exists(staging):
                 dfs.delete(staging)
-        return BatchOutcome(processing_s=result.metrics.total_time)
+        return BatchOutcome(
+            processing_s=result.metrics.total_time,
+            shards_touched=_shards_touched(before, _shard_activity(self.preserved)),
+        )
 
     def state(self) -> Dict[Any, Any]:
+        """The job's refreshed output as a key → value dict."""
         if self.preserved.accumulator:
             return dict(self.preserved.acc_outputs)
         flat: Dict[Any, Any] = {}
@@ -190,5 +244,6 @@ class OneStepStreamConsumer(StreamConsumer):
         return self.preserved.result_records()
 
     def close(self) -> None:
+        """Release the preserved on-disk state (when owned)."""
         if self._owns_state:
             self.preserved.cleanup()

@@ -42,6 +42,12 @@ class StreamBatchMetrics:
     #: incremental iterations the engine ran for this batch (iterative
     #: consumers; one-step consumers report 1).
     iterations: int = 1
+    #: store shards whose files this batch touched, summed over the
+    #: preserved stores of every reduce partition.  0 when the consumer
+    #: maintains unsharded stores (or none at all, e.g. accumulator
+    #: mode); with sharded stores the count shows how widely the batch's
+    #: delta spread — shards not touched were free to serve other work.
+    shards_touched: int = 0
 
     @property
     def wait_s(self) -> float:
@@ -62,38 +68,53 @@ class StreamRunResult:
 
     @property
     def num_batches(self) -> int:
+        """Number of micro-batches processed so far."""
         return len(self.batches)
 
     @property
     def num_records(self) -> int:
+        """Total delta records across all batches."""
         return sum(b.num_records for b in self.batches)
 
     @property
     def num_fallbacks(self) -> int:
+        """Batches run with MRBGraph maintenance off (P∆ auto-off)."""
         return sum(1 for b in self.batches if b.fell_back)
 
     @property
     def max_backlog(self) -> int:
+        """Deepest completion-time backlog any batch observed."""
         return max((b.backlog_records for b in self.batches), default=0)
 
     @property
+    def mean_shards_touched(self) -> float:
+        """Mean store shards touched per batch (0 for unsharded stores)."""
+        if not self.batches:
+            return 0.0
+        return sum(b.shards_touched for b in self.batches) / len(self.batches)
+
+    @property
     def mean_batch_records(self) -> float:
+        """Mean records per batch."""
         if not self.batches:
             return 0.0
         return self.num_records / len(self.batches)
 
     @property
     def mean_latency_s(self) -> float:
+        """Mean end-to-end latency of each batch's oldest record."""
         if not self.batches:
             return 0.0
         return sum(b.latency_s for b in self.batches) / len(self.batches)
 
     @property
     def max_latency_s(self) -> float:
+        """Worst end-to-end latency across batches."""
         return max((b.latency_s for b in self.batches), default=0.0)
 
     @property
     def total_processing_s(self) -> float:
+        """Total simulated engine seconds across batches."""
         return sum(b.processing_s for b in self.batches)
 
     @property
@@ -105,6 +126,7 @@ class StreamRunResult:
 
     @property
     def throughput_records_per_s(self) -> float:
+        """Records per simulated second over the whole run."""
         span = self.makespan_s
         if span <= 0.0:
             return 0.0

@@ -15,6 +15,13 @@ the engine is busy queue up as *backlog*; the backlog depth at each
 batch's completion is reported to the policy (backpressure policies use
 it to grow their batch target) and recorded in the metrics.
 
+When the consumer maintains sharded MRBG-Stores
+(:class:`repro.mrbgraph.sharding.ShardedMRBGStore`), each batch's delta
+routes to the shards owning its affected ``K2`` groups and independent
+shards apply their slices concurrently on the store's execution
+backend; the number of shards a batch actually touched is recorded in
+:attr:`repro.streaming.metrics.StreamBatchMetrics.shards_touched`.
+
 ``run`` may be called repeatedly — the simulated clock, the source
 position and the consumer state all persist, so a caller can interleave
 pipeline pulls with out-of-band work (e.g. writing more DFS delta files
@@ -157,6 +164,7 @@ class ContinuousPipeline:
                 backlog_records=len(self._buffer),
                 fell_back=outcome.fell_back,
                 iterations=outcome.iterations,
+                shards_touched=outcome.shards_touched,
             )
             self.result.batches.append(metrics)
             self.policy.observe(

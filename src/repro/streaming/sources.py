@@ -88,6 +88,7 @@ class ReplaySource(DeltaSource):
         self.records.extend(records)
 
     def events(self) -> Iterator[ArrivedRecord]:
+        """Yield the recorded records at the fixed rate, resuming."""
         gap = 1.0 / self.rate
         while self._position < len(self.records):
             i = self._position
@@ -134,6 +135,7 @@ class DFSTailSource(DeltaSource):
         return [p for p in self.dfs.ls(self.prefix) if p not in self._consumed]
 
     def events(self) -> Iterator[ArrivedRecord]:
+        """Yield one burst per new delta file under the prefix."""
         while True:
             fresh = self.pending_paths()
             if not fresh:
@@ -200,6 +202,7 @@ class SyntheticEvolvingSource(DeltaSource):
         )
 
     def events(self) -> Iterator[ArrivedRecord]:
+        """Yield each generation's mutation burst as it is generated."""
         while self._generation < self.generations:
             g = self._generation
             self._generation += 1

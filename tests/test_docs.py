@@ -18,6 +18,8 @@ def test_docs_exist():
     assert (ROOT / "README.md").is_file()
     assert (ROOT / "docs" / "architecture.md").is_file()
     assert (ROOT / "docs" / "experiments.md").is_file()
+    assert (ROOT / "docs" / "store.md").is_file()
+    assert (ROOT / "docs" / "api.md").is_file()
 
 
 def test_docs_links_resolve():
@@ -45,6 +47,7 @@ def test_readme_documents_env_knobs():
         "REPRO_MAX_WORKERS",
         "REPRO_APPEND_BUFFER_SIZE",
         "REPRO_PREFETCH_LOOKAHEAD",
+        "REPRO_SHARDS",
         "REPRO_BENCH_SCALE",
     ):
         assert knob in readme, f"{knob} missing from README.md"
@@ -61,3 +64,45 @@ def test_architecture_covers_streaming():
 def test_experiments_registry_covers_stream_latency():
     experiments = (ROOT / "docs" / "experiments.md").read_text(encoding="utf-8")
     assert "stream_latency.py" in experiments
+
+
+def test_experiments_documents_stream_latency_columns():
+    """Every stream_latency output column is explained in the docs."""
+    experiments = (ROOT / "docs" / "experiments.md").read_text(encoding="utf-8")
+    for column in (
+        "workload",
+        "policy",
+        "batches",
+        "mean_batch",
+        "mean_lat_s",
+        "max_lat_s",
+        "max_backlog",
+        "fallback_batches",
+    ):
+        assert column in experiments, f"{column} not documented"
+
+
+def test_store_doc_covers_sharding():
+    """docs/store.md explains the store layer end to end."""
+    store = (ROOT / "docs" / "store.md").read_text(encoding="utf-8")
+    for term in (
+        "mrbg.dat",
+        "mrbg.idx",
+        "mrbg.shards",
+        "ShardedMRBGStore",
+        "ShardRouter",
+        "compact",
+        "mrbgstore_tour.py",
+    ):
+        assert term in store, f"{term} missing from docs/store.md"
+
+
+def test_api_reference_is_fresh():
+    """docs/api.md matches a fresh render of the docstrings (CI gate)."""
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.scheduler import TaskSpec, parallel_time, schedule_stage
+from repro.cluster.costmodel import CostModel
+from repro.cluster.scheduler import (
+    ShardPlacement,
+    ShardTaskSpec,
+    TaskSpec,
+    parallel_time,
+    schedule_shard_stage,
+    schedule_stage,
+)
 
 
 class TestBasicScheduling:
@@ -73,3 +81,72 @@ class TestParallelTime:
     def test_deterministic(self):
         costs = [float(i % 5 + 1) for i in range(40)]
         assert parallel_time(costs, 6) == parallel_time(costs, 6)
+
+
+class TestShardPlacement:
+    def test_round_robin_ownership(self):
+        placement = ShardPlacement(num_shards=6, num_workers=4)
+        assert [placement.owner(s) for s in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ShardPlacement(num_shards=0, num_workers=4)
+        with pytest.raises(ValueError):
+            ShardPlacement(num_shards=4, num_workers=0)
+
+
+class TestShardScheduling:
+    def test_tasks_land_on_owners(self):
+        placement = ShardPlacement(num_shards=4, num_workers=4)
+        tasks = [ShardTaskSpec(f"t{s}", 1.0, shard_id=s) for s in range(4)]
+        result = schedule_shard_stage(tasks, placement)
+        assert result.assignment == {f"t{s}": s for s in range(4)}
+        assert result.locality_hits == 4
+        assert result.locality_misses == 0
+        assert result.elapsed_s == pytest.approx(1.0)
+
+    def test_skewed_shard_ships_to_idle_worker(self):
+        # All tasks hit shard 0; with a negligible transfer penalty the
+        # scheduler ships the backlog to idle workers.
+        placement = ShardPlacement(num_shards=2, num_workers=2)
+        model = CostModel(net_latency_s=0.0)
+        tasks = [
+            ShardTaskSpec(f"t{i}", 10.0, shard_id=0, read_bytes=0)
+            for i in range(4)
+        ]
+        result = schedule_shard_stage(tasks, placement, cost_model=model)
+        assert result.locality_misses > 0
+        assert result.elapsed_s < 40.0
+
+    def test_cross_shard_transfer_charged(self):
+        # Shipping is only worthwhile when the saved wait exceeds the
+        # transfer; a huge shard stays on its owner.
+        placement = ShardPlacement(num_shards=1, num_workers=4)
+        model = CostModel()
+        huge = 10 ** 12  # ~83,000 s over the simulated network
+        tasks = [
+            ShardTaskSpec(f"t{i}", 1.0, shard_id=0, read_bytes=huge)
+            for i in range(8)
+        ]
+        result = schedule_shard_stage(tasks, placement, cost_model=model)
+        assert result.locality_misses == 0
+        assert result.elapsed_s == pytest.approx(8.0)
+
+    def test_shipped_task_pays_penalty(self):
+        placement = ShardPlacement(num_shards=1, num_workers=2)
+        model = CostModel(net_latency_s=0.0)
+        nbytes = int(model.net_bw)  # exactly 1 s of transfer
+        tasks = [
+            ShardTaskSpec(f"t{i}", 10.0, shard_id=0, read_bytes=nbytes)
+            for i in range(3)
+        ]
+        result = schedule_shard_stage(tasks, placement, cost_model=model)
+        # Two tasks queue on the owner; the third ships and pays +1 s.
+        assert sorted(result.worker_loads) == pytest.approx([11.0, 20.0])
+        assert result.locality_misses == 1
+
+    def test_empty_stage(self):
+        placement = ShardPlacement(num_shards=2, num_workers=2)
+        result = schedule_shard_stage([], placement)
+        assert result.elapsed_s == 0.0
+        assert result.assignment == {}

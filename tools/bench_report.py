@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
-"""Render (and optionally regenerate) the hot-path perf report.
+"""Render (and optionally regenerate) the perf reports.
 
 ``BENCH_hotpaths.json`` at the repository root is the perf trajectory
 file emitted by ``benchmarks/test_bench_hotpaths.py``; this tool prints
 it as a table and compares every section against the pre-PR baseline in
-``benchmarks/baseline_hotpaths.json``.
+``benchmarks/baseline_hotpaths.json``.  ``BENCH_sharding.json`` (from
+``benchmarks/test_bench_sharding.py``) is rendered alongside when
+present: host wall-clock per backend plus the deterministic simulated
+merge/compact stage elapsed per shard count.
 
 Usage::
 
-    python tools/bench_report.py            # print the report
-    python tools/bench_report.py --run      # run the bench first, then print
+    python tools/bench_report.py            # print the report(s)
+    python tools/bench_report.py --run      # run the benches first, then print
     python tools/bench_report.py --check    # exit 1 unless codec ≥2x and
                                             # fig8 improved vs the baseline
 
-CI runs ``--run`` at ``REPRO_BENCH_SCALE=test`` and uploads the JSON as
-an artifact.
+CI runs ``--run`` at ``REPRO_BENCH_SCALE=test`` and uploads both JSON
+files as artifacts.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ import sys
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUT_PATH = os.path.join(ROOT, "BENCH_hotpaths.json")
+SHARDING_PATH = os.path.join(ROOT, "BENCH_sharding.json")
 BASELINE_PATH = os.path.join(ROOT, "benchmarks", "baseline_hotpaths.json")
 
 
@@ -42,6 +46,7 @@ def run_bench() -> int:
             "-m",
             "pytest",
             os.path.join(ROOT, "benchmarks", "test_bench_hotpaths.py"),
+            os.path.join(ROOT, "benchmarks", "test_bench_sharding.py"),
             "-q",
         ],
         env=env,
@@ -101,6 +106,42 @@ def print_report(doc: dict, baseline: dict) -> None:
               + (f" -> x{fig8['speedup_vs_pre_pr']}" if "speedup_vs_pre_pr" in fig8 else ""))
 
 
+def print_sharding_report(doc: dict) -> None:
+    host = doc.get("host", {})
+    print(
+        f"\nSharded-store perf report  (python {host.get('python', '?')}, "
+        f"scale={host.get('bench_scale', '?')})"
+    )
+    section = doc.get("shard_maintenance", {})
+    if section:
+        shard_counts = section.get("shard_counts", [])
+        print("store maintenance, simulated stage elapsed (backend-invariant):")
+        simulated = section.get("simulated", {})
+        for shards in shard_counts:
+            row = simulated.get(str(shards), {})
+            print(
+                f"  {shards:>2} shard(s): merge {row.get('merge_elapsed_s')} s, "
+                f"compact {row.get('compact_elapsed_s')} s "
+                f"(x{row.get('compact_parallel_speedup')} vs serial placement)"
+            )
+        print("store maintenance, host wall-clock per backend:")
+        for backend, rows in sorted(section.get("wall_clock", {}).items()):
+            cells = ", ".join(
+                f"{shards}sh {rows[str(shards)]['merge_ops_per_s']} ops/s"
+                for shards in shard_counts
+                if str(shards) in rows
+            )
+            print(f"  {backend:<8} {cells}")
+    rounds = doc.get("incremental_round", {})
+    if rounds:
+        print(f"incremental pagerank round ({rounds.get('vertices')} vertices):")
+        for backend, rows in sorted(rounds.get("backends", {}).items()):
+            cells = ", ".join(
+                f"{shards}sh {row['round_s']} s" for shards, row in sorted(rows.items())
+            )
+            print(f"  {backend:<8} {cells}")
+
+
 def check(doc: dict, baseline: dict) -> int:
     failures = []
     codec = doc.get("codec", {})
@@ -137,6 +178,9 @@ def main() -> int:
         return 2
     baseline = load(BASELINE_PATH)
     print_report(doc, baseline)
+    sharding = load(SHARDING_PATH)
+    if sharding:
+        print_sharding_report(sharding)
     if args.check:
         return check(doc, baseline)
     return 0

@@ -10,10 +10,13 @@ when any points at nothing in the tree:
 - bare Python file names (``fig8_overall.py``) — matched against the
   set of file names anywhere in the tree.
 
-It also checks the reverse direction for the experiment registry:
-every experiment module under ``src/repro/experiments/`` (except the
-shared harness/CLI plumbing) must be named in ``docs/experiments.md``,
-so a new experiment cannot land undocumented.
+It also checks two reverse directions, so new code cannot land
+undocumented:
+
+- every experiment module under ``src/repro/experiments/`` (except the
+  shared harness/CLI plumbing) must be named in ``docs/experiments.md``;
+- every example script under ``examples/`` must be mentioned in
+  README.md or a ``docs/*.md`` page.
 
 Run from the repository root (CI does)::
 
@@ -84,6 +87,20 @@ def check_experiment_registry(root: Path) -> list:
     return problems
 
 
+def check_example_coverage(root: Path) -> list:
+    """Every example script must be mentioned in README or a docs page."""
+    corpus = "\n".join(
+        doc.read_text(encoding="utf-8") for doc in iter_doc_files(root)
+    )
+    problems = []
+    for script in sorted((root / "examples").glob("*.py")):
+        if script.name not in corpus:
+            problems.append(
+                (script.name, "example not mentioned in README or docs/")
+            )
+    return problems
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     known_basenames = {
@@ -99,6 +116,9 @@ def main() -> int:
         failures += len(problems)
     for ref, reason in check_experiment_registry(root):
         print(f"docs/experiments.md: {ref!r}: {reason}")
+        failures += 1
+    for ref, reason in check_example_coverage(root):
+        print(f"examples/: {ref!r}: {reason}")
         failures += 1
     if failures:
         print(f"\n{failures} broken doc reference(s)")

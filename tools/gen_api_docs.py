@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Generate ``docs/api.md`` from the ``src/repro/`` docstrings.
+
+Walks every module under ``src/repro/`` with :mod:`ast` (no imports, so
+generation is environment-independent and safe in CI), collects the
+public surface — module docstring, public classes with their public
+methods, public module-level functions — and emits one markdown page:
+module → object → first-docstring-line summary.
+
+The page is *generated, committed, and drift-checked*: CI regenerates
+it and fails when the committed file differs, so the API reference can
+never go stale.  The same walk powers a docstring-coverage gate.
+
+Usage::
+
+    python tools/gen_api_docs.py                  # (re)write docs/api.md
+    python tools/gen_api_docs.py --check          # exit 1 on drift
+    python tools/gen_api_docs.py --min-coverage 95  # exit 1 below 95 %
+    python tools/gen_api_docs.py --list-missing   # show undocumented objects
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+OUT = ROOT / "docs" / "api.md"
+
+HEADER = """\
+# API reference
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with:  python tools/gen_api_docs.py
+     CI fails when this file drifts from the sources. -->
+
+One line per public module, class and function, straight from the
+docstrings under `src/repro/`.  For narrative documentation see
+[architecture.md](architecture.md), [store.md](store.md) and
+[experiments.md](experiments.md).
+"""
+
+
+def module_name(path: Path) -> str:
+    rel = path.relative_to(ROOT / "src").with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_modules() -> Iterator[Path]:
+    for path in sorted(SRC.rglob("*.py")):
+        yield path
+
+
+def first_line(docstring: Optional[str]) -> str:
+    if not docstring:
+        return ""
+    for line in docstring.strip().splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+def is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+class ApiObject:
+    """One documented (or undocumented) public object."""
+
+    def __init__(self, kind: str, qualname: str, summary: str) -> None:
+        self.kind = kind
+        self.qualname = qualname
+        self.summary = summary
+
+    @property
+    def documented(self) -> bool:
+        return bool(self.summary)
+
+
+def collect_module(path: Path) -> Tuple[ApiObject, List[ApiObject]]:
+    """Parse one module into (module object, public members)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    name = module_name(path)
+    module = ApiObject("module", name, first_line(ast.get_docstring(tree)))
+    members: List[ApiObject] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and is_public(node.name):
+            members.append(
+                ApiObject(
+                    "class",
+                    f"{name}.{node.name}",
+                    first_line(ast.get_docstring(node)),
+                )
+            )
+            for sub in node.body:
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and is_public(sub.name):
+                    members.append(
+                        ApiObject(
+                            "method",
+                            f"{name}.{node.name}.{sub.name}",
+                            first_line(ast.get_docstring(sub)),
+                        )
+                    )
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and is_public(node.name):
+            members.append(
+                ApiObject(
+                    "function",
+                    f"{name}.{node.name}",
+                    first_line(ast.get_docstring(node)),
+                )
+            )
+    return module, members
+
+
+def render() -> Tuple[str, List[ApiObject]]:
+    """Render the full page; returns (markdown, every walked object)."""
+    sections: List[str] = [HEADER]
+    everything: List[ApiObject] = []
+    current_package = None
+    for path in iter_modules():
+        module, members = collect_module(path)
+        everything.append(module)
+        everything.extend(members)
+        package = ".".join(module.qualname.split(".")[:2])
+        if package != current_package:
+            current_package = package
+            sections.append(f"\n## `{package}`\n")
+        title = module.qualname
+        sections.append(f"\n### `{title}`\n")
+        sections.append(f"\n{module.summary or '*undocumented*'}\n")
+        top_level = [m for m in members if m.kind in ("class", "function")]
+        if top_level:
+            sections.append("\n| object | summary |\n| --- | --- |\n")
+            for member in top_level:
+                short = member.qualname[len(module.qualname) + 1 :]
+                label = f"`{short}()`" if member.kind == "function" else f"`{short}`"
+                sections.append(
+                    f"| {label} | {member.summary or '*undocumented*'} |\n"
+                )
+    return "".join(sections), everything
+
+
+def coverage(objects: List[ApiObject]) -> float:
+    if not objects:
+        return 100.0
+    documented = sum(1 for obj in objects if obj.documented)
+    return 100.0 * documented / len(objects)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="fail when docs/api.md differs from a fresh render")
+    parser.add_argument("--min-coverage", type=float, default=None, metavar="PCT",
+                        help="fail when docstring coverage drops below PCT")
+    parser.add_argument("--list-missing", action="store_true",
+                        help="print every public object without a docstring")
+    args = parser.parse_args()
+
+    markdown, objects = render()
+
+    if args.list_missing:
+        for obj in objects:
+            if not obj.documented:
+                print(f"{obj.kind:<8} {obj.qualname}")
+
+    status = 0
+    if args.check:
+        committed = OUT.read_text(encoding="utf-8") if OUT.exists() else ""
+        if committed != markdown:
+            print(
+                "docs/api.md is stale — regenerate with "
+                "`python tools/gen_api_docs.py` and commit the result",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("docs/api.md is up to date")
+    elif not args.list_missing:
+        OUT.write_text(markdown, encoding="utf-8")
+        print(f"wrote {OUT.relative_to(ROOT)} ({len(objects)} objects)")
+
+    pct = coverage(objects)
+    documented = sum(1 for obj in objects if obj.documented)
+    print(f"docstring coverage: {pct:.1f}% ({documented}/{len(objects)} objects)")
+    if args.min_coverage is not None and pct < args.min_coverage:
+        print(
+            f"docstring coverage {pct:.1f}% below the "
+            f"{args.min_coverage:.1f}% threshold "
+            "(run with --list-missing to see the gaps)",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
