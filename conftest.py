@@ -1,0 +1,44 @@
+"""Repository-level pytest configuration.
+
+Lives at the repo root (not under ``tests/``) because
+``pytest_addoption`` must be defined in an *initial* conftest — one
+pytest discovers before collecting any test file, wherever the run was
+invoked from.
+
+Adds the ``--runslow`` flag gating the ``slow`` marker: the exhaustive
+crash matrix in ``tests/test_durability.py`` (every crash point × shard
+count × compaction policy) is minutes of copytree-heavy I/O, so the
+default tier-1 run keeps only its quick subset and CI's dedicated
+fault-injection job opts into the rest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    """Register ``--runslow`` (off by default)."""
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (e.g. the full durability crash matrix)",
+    )
+
+
+def pytest_configure(config):
+    """Declare the ``slow`` marker so ``--strict-markers`` stays clean."""
+    config.addinivalue_line(
+        "markers", "slow: long-running test, skipped unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow``-marked tests unless ``--runslow`` was passed."""
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

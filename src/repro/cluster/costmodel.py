@@ -116,6 +116,19 @@ class CostModel:
         """One MRBG-Store append-buffer flush (sequential write)."""
         return self.store_io_overhead_s + nbytes / self.disk_write_bw
 
+    def wal_append_time(self, nbytes: int) -> float:
+        """One write-ahead-log append flush (sequential journal write).
+
+        Charged at *unscaled* rates like all MRBG-Store I/O, into the
+        dedicated ``wal_*`` store metrics — like compaction, WAL
+        maintenance is accounted separately from job stage times.
+        """
+        return self.store_io_overhead_s + nbytes / self.disk_write_bw
+
+    def wal_replay_time(self, nbytes: int) -> float:
+        """One recovery-time sequential read of a write-ahead log."""
+        return self.store_io_overhead_s + nbytes / self.disk_read_bw
+
     def cross_shard_read_time(self, nbytes: int) -> float:
         """Penalty for running a shard task away from the shard's owner.
 

@@ -49,6 +49,26 @@ DEFAULT_PREFETCH_LOOKAHEAD = _env_int("REPRO_PREFETCH_LOOKAHEAD", 256)
 #: ``REPRO_SHARDS`` environment variable.
 DEFAULT_NUM_SHARDS = _env_int("REPRO_SHARDS", 1)
 
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+#: Whether every MRBG-Store journals mutations to a per-store write-ahead
+#: log (``mrbg.wal``) and replays it on ``open()`` — crash-safe
+#: preserved state, on by default.  Overridable via the ``REPRO_WAL``
+#: environment variable (``REPRO_WAL=0`` restores the paper's
+#: non-durable store).
+DEFAULT_WAL_ENABLED = _env_flag("REPRO_WAL", True)
+
+#: Default MRBG-Store compaction policy (``"full"`` / ``"size-tiered"`` /
+#: ``"leveled"``; see :mod:`repro.mrbgraph.compaction`).  Overridable via
+#: the ``REPRO_COMPACTION`` environment variable or per job via
+#: ``JobConf.compaction``.
+DEFAULT_COMPACTION = os.environ.get("REPRO_COMPACTION", "full")
+
 #: Change-propagation-control filter threshold default (§8.5).
 DEFAULT_FILTER_THRESHOLD = 1.0
 

@@ -1,7 +1,22 @@
 """Fault tolerance: checkpointing costs, failure injection, recovery (§6)."""
 
 from repro.faults.context import FaultContext
-from repro.faults.injection import FaultInjector, FaultSpec
+from repro.faults.injection import (
+    CrashDirective,
+    CrashPoint,
+    FaultInjector,
+    FaultSpec,
+    InjectedCrash,
+)
 from repro.faults.timeline import TaskEvent, Timeline
 
-__all__ = ["FaultContext", "FaultInjector", "FaultSpec", "TaskEvent", "Timeline"]
+__all__ = [
+    "CrashDirective",
+    "CrashPoint",
+    "FaultContext",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedCrash",
+    "TaskEvent",
+    "Timeline",
+]

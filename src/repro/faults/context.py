@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import StageTimes
-from repro.faults.injection import FaultInjector
+from repro.faults.injection import CrashDirective, FaultInjector
 from repro.faults.timeline import TaskEvent, Timeline
 
 
@@ -39,6 +39,43 @@ class FaultContext:
         self.timeline = Timeline()
         self.clock = 0.0
         self.iteration = 0
+        #: per-(point, shard) hit counters for store crash sites.
+        self._store_hits: dict = {}
+        #: ``(point, shard, occurrence)`` triples of crashes that fired.
+        self.store_crash_log: list = []
+
+    # ------------------------------------------------------------------ #
+    # store crashes                                                      #
+    # ------------------------------------------------------------------ #
+
+    def store_hook(self):
+        """The crash-injection hook MRBG-Stores consult at durability sites.
+
+        Pass the returned callable as the ``fault_hook`` of an
+        :class:`~repro.mrbgraph.store.MRBGStore`,
+        :class:`~repro.mrbgraph.sharding.ShardedMRBGStore` or
+        :class:`~repro.incremental.state.PreservedJobState`.  Every hit
+        of a ``(point, shard)`` site increments a deterministic counter;
+        when the counter matches a registered
+        :class:`~repro.faults.injection.CrashPoint` occurrence the hook
+        answers a :class:`~repro.faults.injection.CrashDirective` and the
+        store kills the operation there (raising
+        :class:`~repro.faults.injection.InjectedCrash`).  Fig 13's
+        map/reduce/worker semantics are untouched — this is a separate,
+        store-only channel.
+        """
+
+        def hook(point: str, shard: int = 0, nbytes=None):
+            key = (point, shard)
+            occurrence = self._store_hits.get(key, 0)
+            self._store_hits[key] = occurrence + 1
+            crash = self.injector.crash_for(point, shard, occurrence)
+            if crash is None:
+                return None
+            self.store_crash_log.append((point, shard, occurrence))
+            return CrashDirective(byte_offset=crash.byte_offset, occurrence=occurrence)
+
+        return hook
 
     def apply(
         self,

@@ -1,19 +1,100 @@
-"""Failure injection for the iterative engines (§6.1, Fig 13).
+"""Failure injection for the iterative engines (§6.1, Fig 13) and the store.
 
 The paper "manually and randomly inject[s] some errors" into prime Map
 and prime Reduce tasks; here failures are declared as :class:`FaultSpec`
 entries (or drawn from a seeded generator) and applied deterministically
 by the :class:`repro.faults.context.FaultContext`.
+
+Beyond the paper's task-level failures, the ``"store"`` stage injects
+*crashes into MRBG-Store operations*: a :class:`CrashPoint` names one of
+the store's durability-protocol sites (``wal-append``,
+``pre-index-swap``, ``mid-compact-write``, ``post-compact-pre-swap``)
+and kills the operation there — optionally tearing a WAL append at a
+byte offset — so the durability suite can prove byte-identical recovery
+at every point.  Store crashes surface as :class:`InjectedCrash`; the
+crashed store releases its file handles without flushing anything
+further, exactly like a killed process, and the next ``open()`` runs
+recovery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-VALID_STAGES = ("map", "reduce", "worker")
+VALID_STAGES = ("map", "reduce", "worker", "store")
+
+#: Named crash sites inside the MRBG-Store durability protocol.
+VALID_CRASH_POINTS = (
+    "wal-append",
+    "pre-index-swap",
+    "mid-compact-write",
+    "post-compact-pre-swap",
+)
+
+
+class InjectedCrash(Exception):
+    """A store operation was killed by an injected :class:`CrashPoint`.
+
+    Raised out of the store operation that hit the crash site; the store
+    has already released its file handles without flushing anything
+    further.  Callers simulating recovery discard the store object and
+    reopen the directory.
+    """
+
+    def __init__(self, point: str, shard: int, occurrence: int) -> None:
+        super().__init__(
+            f"injected crash at {point!r} (shard {shard}, occurrence {occurrence})"
+        )
+        self.point = point
+        self.shard = shard
+        self.occurrence = occurrence
+
+
+@dataclass(frozen=True)
+class CrashDirective:
+    """What a store fault hook answers when a crash point fires.
+
+    Attributes:
+        byte_offset: for ``wal-append`` — how many bytes of the record
+            being appended reach the file before the kill (``None``
+            means the record never makes it at all).  Ignored at the
+            other crash points.
+        occurrence: which hit of the crash site fired (echoed into the
+            resulting :class:`InjectedCrash` for diagnostics).
+    """
+
+    byte_offset: Optional[int] = None
+    occurrence: int = 0
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One injected store crash: kill an operation at a named point.
+
+    Attributes:
+        point: crash site, one of :data:`VALID_CRASH_POINTS`.
+        shard: shard index the crash applies to (0 for unsharded stores).
+        occurrence: which hit of this (point, shard) site crashes — the
+            first hit is occurrence 0; earlier hits proceed normally.
+        byte_offset: for ``wal-append``, tear the record at this byte
+            offset instead of dropping it whole.
+    """
+
+    point: str
+    shard: int = 0
+    occurrence: int = 0
+    byte_offset: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.point not in VALID_CRASH_POINTS:
+            raise ValueError(f"point must be one of {VALID_CRASH_POINTS}")
+        if self.shard < 0 or self.occurrence < 0:
+            raise ValueError("shard and occurrence must be non-negative")
+        if self.byte_offset is not None and self.byte_offset < 0:
+            raise ValueError("byte_offset must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -21,17 +102,28 @@ class FaultSpec:
     """One injected failure.
 
     Attributes:
-        iteration: iteration index in which the task fails.
-        stage: ``"map"``, ``"reduce"``, or ``"worker"`` (a worker failure
-            kills both co-located prime tasks, §6.1 case iii).
-        task_index: prime task index (= partition index).
-        at_fraction: fraction of the task's work done when it fails.
+        iteration: iteration index in which the task fails.  For the
+            ``"store"`` stage this is the crash *occurrence* ordinal
+            (the Nth hit of the crash point crashes).
+        stage: ``"map"``, ``"reduce"``, ``"worker"`` (a worker failure
+            kills both co-located prime tasks, §6.1 case iii), or
+            ``"store"`` (an MRBG-Store operation crash).
+        task_index: prime task index (= partition index).  For the
+            ``"store"`` stage this is the shard index.
+        at_fraction: fraction of the task's work done when it fails
+            (Fig 13 stages only).
+        crash_point: ``"store"`` stage only — the named crash site, one
+            of :data:`VALID_CRASH_POINTS`.
+        byte_offset: ``"store"`` stage only — tear the WAL append at
+            this byte offset (``wal-append`` point).
     """
 
     iteration: int
     stage: str
     task_index: int
     at_fraction: float = 0.5
+    crash_point: Optional[str] = None
+    byte_offset: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.stage not in VALID_STAGES:
@@ -40,6 +132,24 @@ class FaultSpec:
             raise ValueError("at_fraction must be within [0, 1]")
         if self.iteration < 0 or self.task_index < 0:
             raise ValueError("iteration and task_index must be non-negative")
+        if self.stage == "store":
+            if self.crash_point not in VALID_CRASH_POINTS:
+                raise ValueError(
+                    f"store faults need crash_point in {VALID_CRASH_POINTS}"
+                )
+        elif self.crash_point is not None or self.byte_offset is not None:
+            raise ValueError("crash_point/byte_offset apply to the store stage only")
+
+    def as_crash_point(self) -> CrashPoint:
+        """The :class:`CrashPoint` view of a ``"store"`` stage fault."""
+        if self.stage != "store":
+            raise ValueError("not a store fault")
+        return CrashPoint(
+            point=self.crash_point,
+            shard=self.task_index,
+            occurrence=self.iteration,
+            byte_offset=self.byte_offset,
+        )
 
 
 class FaultInjector:
@@ -47,11 +157,15 @@ class FaultInjector:
 
     def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
         self._by_key: Dict[Tuple[int, str], Dict[int, FaultSpec]] = {}
+        self._crash_points: Dict[Tuple[str, int], Dict[int, CrashPoint]] = {}
         for fault in faults:
             self.add(fault)
 
     def add(self, fault: FaultSpec) -> None:
         """Register one failure (worker failures expand to map+reduce)."""
+        if fault.stage == "store":
+            self.add_crash_point(fault.as_crash_point())
+            return
         if fault.stage == "worker":
             for stage in ("map", "reduce"):
                 expanded = FaultSpec(
@@ -65,13 +179,25 @@ class FaultInjector:
             fault.task_index
         ] = fault
 
+    def add_crash_point(self, crash: CrashPoint) -> None:
+        """Register one store crash site."""
+        self._crash_points.setdefault((crash.point, crash.shard), {})[
+            crash.occurrence
+        ] = crash
+
+    def crash_for(self, point: str, shard: int, occurrence: int):
+        """The store crash injected at this hit of (point, shard), or None."""
+        return self._crash_points.get((point, shard), {}).get(occurrence)
+
     def fault_for(self, iteration: int, stage: str, task_index: int):
         """The failure injected into this task, or None."""
         return self._by_key.get((iteration, stage), {}).get(task_index)
 
     def num_faults(self) -> int:
-        """Total registered task failures."""
-        return sum(len(v) for v in self._by_key.values())
+        """Total registered task failures (store crashes included)."""
+        return sum(len(v) for v in self._by_key.values()) + sum(
+            len(v) for v in self._crash_points.values()
+        )
 
     @classmethod
     def random(

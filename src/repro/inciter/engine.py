@@ -181,6 +181,7 @@ class I2MREngine:
         store_root: Optional[str] = None,
         executor: ExecutorSpec = None,
         num_shards: Optional[int] = None,
+        compaction: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs
@@ -189,6 +190,8 @@ class I2MREngine:
         self.executors = ExecutorSelector(executor)
         #: shards per preserved MRBG-Store (None = REPRO_SHARDS default).
         self.num_shards = num_shards
+        #: MRBG-Store compaction policy name (None = REPRO_COMPACTION).
+        self.compaction = compaction
 
     def backend_for(self, job: IterativeJob) -> ExecutionBackend:
         """The execution backend this job's task batches run on."""
@@ -276,6 +279,7 @@ class I2MREngine:
             num_shards=self.num_shards,
             store_executor=self.backend_for(job),
             num_workers=self.cluster.num_workers,
+            compaction=self.compaction,
         )
         if last_chunks is not None:
             for q, chunk_list in enumerate(last_chunks):

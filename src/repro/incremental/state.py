@@ -42,6 +42,9 @@ class PreservedJobState:
         num_shards: Optional[int] = None,
         store_executor: Any = None,
         num_workers: Optional[int] = None,
+        wal_enabled: Optional[bool] = None,
+        compaction: Any = None,
+        fault_hook: Any = None,
     ) -> None:
         self.num_reducers = num_reducers
         self.accumulator = accumulator
@@ -59,6 +62,11 @@ class PreservedJobState:
         #: simulated workers shard placement spreads over (the engines
         #: pass their cluster's size; None = DEFAULT_NUM_WORKERS).
         self._num_workers = num_workers
+        #: durability knobs handed to every store this state creates
+        #: (None = config defaults; see repro.mrbgraph.wal/compaction).
+        self._wal_enabled = wal_enabled
+        self._compaction = compaction
+        self._fault_hook = fault_hook
         self._stores: Dict[int, StoreLike] = {}
         #: fine-grain mode: reduce-instance key -> that instance's outputs.
         self.outputs: Dict[Any, List[Tuple[Any, Any]]] = {}
@@ -86,6 +94,9 @@ class PreservedJobState:
                     cost_model=self._cost_model,
                     executor=self._store_executor,
                     num_workers=self._num_workers,
+                    wal_enabled=self._wal_enabled,
+                    compaction=self._compaction,
+                    fault_hook=self._fault_hook,
                 )
             elif self.num_shards > 1:
                 self._stores[partition] = ShardedMRBGStore(
@@ -95,18 +106,30 @@ class PreservedJobState:
                     cost_model=self._cost_model,
                     executor=self._store_executor,
                     num_workers=self._num_workers,
+                    wal_enabled=self._wal_enabled,
+                    compaction=self._compaction,
+                    fault_hook=self._fault_hook,
                 )
-            elif os.path.exists(os.path.join(directory, "mrbg.idx")):
+            elif os.path.exists(os.path.join(directory, "mrbg.idx")) or (
+                self._wal_enabled is not False
+                and os.path.exists(os.path.join(directory, "mrbg.wal"))
+            ):
                 self._stores[partition] = MRBGStore.open(
                     directory,
                     policy=self._policy_factory(),
                     cost_model=self._cost_model,
+                    wal_enabled=self._wal_enabled,
+                    compaction=self._compaction,
+                    fault_hook=self._fault_hook,
                 )
             else:
                 self._stores[partition] = MRBGStore(
                     directory,
                     policy=self._policy_factory(),
                     cost_model=self._cost_model,
+                    wal_enabled=self._wal_enabled,
+                    compaction=self._compaction,
+                    fault_hook=self._fault_hook,
                 )
         return self._stores[partition]
 
@@ -140,6 +163,29 @@ class PreservedJobState:
         for store in self._stores.values():
             store.compact()
 
+    def maybe_compact_all(self) -> None:
+        """Idle-time opportunity: compact only stores whose policy fires.
+
+        Policy-gated counterpart of :meth:`compact_all` — each store's
+        :class:`~repro.mrbgraph.compaction.CompactionPolicy` decides
+        whether its rewrite pays for itself yet.
+        """
+        for store in self._stores.values():
+            store.maybe_compact()
+
+    def reset_stores(self) -> None:
+        """Abandon every in-memory store object without flushing anything.
+
+        The crash-simulation reset: after an injected (or real) crash
+        killed stores mid-operation, this releases their file handles
+        exactly as a dead process would; the next :meth:`store_for` of
+        each partition reopens it from disk, running write-ahead-log
+        recovery.
+        """
+        for store in self._stores.values():
+            store.abandon()
+        self._stores.clear()
+
     def checkpoint_bytes(self) -> int:
         """Bytes a full checkpoint of the preserved state would copy."""
         return sum(store.checkpoint_bytes() for store in self._stores.values())
@@ -162,8 +208,14 @@ class PreservedJobState:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Close stores; keeps on-disk files (reopen with ``store_for``)."""
+        """Close stores; keeps on-disk files (reopen with ``store_for``).
+
+        Stores killed by an injected crash are skipped — their on-disk
+        state must stay exactly as the kill left it for recovery.
+        """
         for store in self._stores.values():
+            if getattr(store, "crashed", False):
+                continue
             store.save_index()
             store.close()
         self._stores.clear()

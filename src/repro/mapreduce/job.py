@@ -35,6 +35,12 @@ class JobConf:
             counters or simulated times, only host wall-clock.
         max_workers: worker cap for pool backends (``None`` = one per
             host CPU).
+        compaction: MRBG-Store compaction policy for state this job
+            preserves — ``"full"`` / ``"size-tiered"`` / ``"leveled"``
+            (see :mod:`repro.mrbgraph.compaction`), or ``None`` for the
+            ``REPRO_COMPACTION`` default.  Only the incremental engines
+            consult it; a policy never changes on-disk formats, only
+            *when* idle-time compaction rewrites a store.
     """
 
     name: str
@@ -47,6 +53,7 @@ class JobConf:
     partitioner: Partitioner = default_partitioner
     executor: ExecutorSpec = None
     max_workers: Optional[int] = None
+    compaction: Optional[str] = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidJobConf` on an unusable configuration."""
@@ -68,6 +75,14 @@ class JobConf:
                 )
         if self.max_workers is not None and self.max_workers <= 0:
             raise InvalidJobConf("max_workers must be positive")
+        if self.compaction is not None:
+            from repro.mrbgraph.compaction import POLICIES
+
+            if self.compaction not in POLICIES:
+                raise InvalidJobConf(
+                    f"unknown compaction policy {self.compaction!r}; "
+                    f"expected one of {sorted(POLICIES)}"
+                )
 
 
 @dataclass

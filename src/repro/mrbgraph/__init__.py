@@ -1,5 +1,13 @@
 """MRBGraph abstraction and the on-disk MRBG-Store (paper §3.2–3.4, §5.2)."""
 
+from repro.mrbgraph.compaction import (
+    CompactionPolicy,
+    CompactionStats,
+    FullCompaction,
+    LeveledCompaction,
+    SizeTieredCompaction,
+    compaction_policy,
+)
 from repro.mrbgraph.graph import DeltaEdge, Edge, apply_delta, group_delta_by_key
 from repro.mrbgraph.sharding import (
     HashShardRouter,
@@ -9,6 +17,7 @@ from repro.mrbgraph.sharding import (
     StoreLike,
 )
 from repro.mrbgraph.store import MRBGStore, StoreMetrics
+from repro.mrbgraph.wal import RecoveredState, WALReplay, WriteAheadLog
 from repro.mrbgraph.windows import (
     ChunkLocation,
     IndexOnlyPolicy,
@@ -20,12 +29,21 @@ from repro.mrbgraph.windows import (
 )
 
 __all__ = [
+    "CompactionPolicy",
+    "CompactionStats",
+    "FullCompaction",
+    "LeveledCompaction",
+    "SizeTieredCompaction",
+    "compaction_policy",
     "DeltaEdge",
     "Edge",
     "apply_delta",
     "group_delta_by_key",
     "MRBGStore",
     "StoreMetrics",
+    "RecoveredState",
+    "WALReplay",
+    "WriteAheadLog",
     "HashShardRouter",
     "RangeShardRouter",
     "ShardRouter",

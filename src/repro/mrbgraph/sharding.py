@@ -58,13 +58,16 @@ from repro.common.errors import StoreClosedError, StoreError
 from repro.common.hashing import stable_hash
 from repro.common.kvpair import sort_key
 from repro.common.serialization import decode_many, encode_many
+from repro.mrbgraph.compaction import CompactionSpec
 from repro.mrbgraph.graph import DeltaEdge, Edge
 from repro.mrbgraph.store import (
+    FaultHook,
     MRBGStore,
     StoreMetrics,
     compact_data_file,
     encode_index_entries,
 )
+from repro.mrbgraph.wal import OP_COMPACT_BEGIN, OP_COMPACT_COMMIT, atomic_write
 from repro.mrbgraph.windows import ChunkLocation
 
 _MANIFEST_FILE = "mrbg.shards"
@@ -200,6 +203,10 @@ class ShardCompactTask:
     #: live ``(offset, length)`` placements in K2 order.
     locations: List[Tuple[int, int]]
     append_buffer_size: int
+    #: leave the complete rewrite as ``<data_path>.compact`` instead of
+    #: swapping it in — the WAL-protected coordinator journals the
+    #: compaction commit record first, then performs the swap itself.
+    leave_temp: bool = False
 
 
 @dataclass
@@ -218,7 +225,10 @@ def run_shard_compact(task: ShardCompactTask) -> ShardCompactResult:
         ChunkLocation(offset, length, 0) for offset, length in task.locations
     ]
     new_locations, out_offset = compact_data_file(
-        task.data_path, locations, task.append_buffer_size
+        task.data_path,
+        locations,
+        task.append_buffer_size,
+        replace=not task.leave_temp,
     )
     return ShardCompactResult(
         shard_id=task.shard_id,
@@ -239,15 +249,16 @@ class ShardIndexFlushTask:
 
 
 def run_shard_index_flush(task: ShardIndexFlushTask) -> int:
-    """Write one shard's ``mrbg.idx``; returns bytes written.
+    """Write one shard's ``mrbg.idx`` atomically; returns bytes written.
 
     Produces byte-identical files to
     :meth:`repro.mrbgraph.store.MRBGStore.save_index` (both go through
-    :func:`repro.mrbgraph.store.encode_index_entries`).
+    :func:`repro.mrbgraph.store.encode_index_entries` and the same
+    write-temp + fsync + rename swap of
+    :func:`repro.mrbgraph.wal.atomic_write`).
     """
     raw = encode_index_entries(task.entries, task.num_batches)
-    with open(task.index_path, "wb") as fh:
-        fh.write(raw)
+    atomic_write(task.index_path, raw)
     return len(raw)
 
 
@@ -285,6 +296,9 @@ class ShardedMRBGStore:
         prefetch_lookahead: int = config.DEFAULT_PREFETCH_LOOKAHEAD,
         executor: Any = None,
         num_workers: Optional[int] = None,
+        wal_enabled: Optional[bool] = None,
+        compaction: CompactionSpec = None,
+        fault_hook: Optional[FaultHook] = None,
         _reopen: bool = False,
     ) -> None:
         if router is None:
@@ -322,7 +336,13 @@ class ShardedMRBGStore:
             policy = policy_factory() if policy_factory else None
             if _reopen:
                 shard = MRBGStore.open(
-                    shard_dir, policy=policy, cost_model=self.cost_model
+                    shard_dir,
+                    policy=policy,
+                    cost_model=self.cost_model,
+                    wal_enabled=wal_enabled,
+                    compaction=compaction,
+                    fault_hook=fault_hook,
+                    shard_id=sid,
                 )
             else:
                 shard = MRBGStore(
@@ -331,6 +351,10 @@ class ShardedMRBGStore:
                     cost_model=self.cost_model,
                     append_buffer_size=append_buffer_size,
                     prefetch_lookahead=prefetch_lookahead,
+                    wal_enabled=wal_enabled,
+                    compaction=compaction,
+                    fault_hook=fault_hook,
+                    shard_id=sid,
                 )
             self._shards.append(shard)
         self._write_manifest()
@@ -347,8 +371,16 @@ class ShardedMRBGStore:
         cost_model: Optional[CostModel] = None,
         executor: Any = None,
         num_workers: Optional[int] = None,
+        wal_enabled: Optional[bool] = None,
+        compaction: CompactionSpec = None,
+        fault_hook: Optional[FaultHook] = None,
     ) -> "ShardedMRBGStore":
-        """Reopen a sharded store from its manifest and shard indexes."""
+        """Reopen a sharded store from its manifest and shard indexes.
+
+        Every shard reopens through :meth:`MRBGStore.open`, so per-shard
+        write-ahead-log recovery runs shard by shard — a crash that
+        killed one shard mid-operation never affects its siblings.
+        """
         manifest_path = os.path.join(directory, _MANIFEST_FILE)
         if not os.path.exists(manifest_path):
             raise StoreError(f"no shard manifest under {directory!r}")
@@ -361,6 +393,9 @@ class ShardedMRBGStore:
             cost_model=cost_model,
             executor=executor,
             num_workers=num_workers,
+            wal_enabled=wal_enabled,
+            compaction=compaction,
+            fault_hook=fault_hook,
             _reopen=True,
         )
 
@@ -369,8 +404,7 @@ class ShardedMRBGStore:
         if os.path.exists(manifest_path):
             return
         raw = encode_many([{"router": self.router.spec()}])
-        with open(manifest_path, "wb") as fh:
-            fh.write(raw)
+        atomic_write(manifest_path, raw)
 
     def close(self) -> None:
         """Close every shard and any backend this store created."""
@@ -382,6 +416,26 @@ class ShardedMRBGStore:
             self._executor.close()
             self._executor = None
         self._closed = True
+
+    def abandon(self) -> None:
+        """Kill every shard without flushing (a simulated whole-node kill).
+
+        See :meth:`MRBGStore.abandon`; per-shard recovery runs on the
+        next :meth:`open` of the directory.
+        """
+        if self._closed:
+            return
+        for shard in self._shards:
+            shard.abandon()
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self._closed = True
+
+    @property
+    def crashed(self) -> bool:
+        """Whether any shard was killed by an injected crash."""
+        return any(shard.crashed for shard in self._shards)
 
     def _check_open(self) -> None:
         if self._closed:
@@ -600,6 +654,11 @@ class ShardedMRBGStore:
         self._check_open()
         if self._in_session or any(shard._in_session for shard in self._shards):
             raise StoreError("cannot compact during a merge session")
+        if any(shard.fault_hook is not None for shard in self._shards):
+            # Crash injection needs the full per-shard WAL protocol with
+            # its in-operation crash sites — run shard compactions
+            # serially through MRBGStore.compact (placement unchanged).
+            return self._compact_serial()
 
         tasks: List[ShardCompactTask] = []
         shard_keys: List[List[Any]] = []
@@ -608,6 +667,11 @@ class ShardedMRBGStore:
             keys = shard.keys()
             shard_keys.append(keys)
             old_sizes.append(shard.file_size)
+            # WAL-protected shards journal the compaction intent before
+            # the temp rewrite starts anywhere.
+            if shard._wal is not None:
+                shard._wal_append(OP_COMPACT_BEGIN)
+                shard._wal_flush()
             tasks.append(
                 ShardCompactTask(
                     shard_id=sid,
@@ -617,6 +681,7 @@ class ShardedMRBGStore:
                         for key in keys
                     ],
                     append_buffer_size=shard.append_buffer_size,
+                    leave_temp=shard._wal is not None,
                 )
             )
         results = self._backend().run_tasks(run_shard_compact, tasks)
@@ -625,6 +690,19 @@ class ShardedMRBGStore:
         for keys, old_size, result in zip(shard_keys, old_sizes, results):
             shard = self._shards[result.shard_id]
             shard._fh.close()
+            if shard._wal is not None:
+                # Commit record (with the full new placement list) is
+                # durable before the swap: recovery can finish or undo it.
+                shard._wal_append(
+                    OP_COMPACT_COMMIT,
+                    [
+                        (key, offset, length)
+                        for key, (offset, length) in zip(keys, result.locations)
+                    ],
+                    result.file_size,
+                )
+                shard._wal_flush()
+                os.replace(shard._data_path + ".compact", shard._data_path)
             shard._fh = open(shard._data_path, "r+b")
             shard._file_size = result.file_size
             shard._index = {
@@ -651,16 +729,72 @@ class ShardedMRBGStore:
         )
         return self.last_schedule
 
+    def _compact_serial(self) -> ScheduleResult:
+        """Shard-by-shard compaction through :meth:`MRBGStore.compact`."""
+        specs = []
+        for sid, shard in enumerate(self._shards):
+            old_size = shard.file_size
+            shard.compact()
+            specs.append(
+                ShardTaskSpec(
+                    task_id=f"compact-{sid:04d}",
+                    cost_s=shard.cost_model.store_read_time(old_size)
+                    + shard.cost_model.store_write_time(shard.file_size),
+                    shard_id=sid,
+                    read_bytes=old_size,
+                )
+            )
+        self.last_schedule = schedule_shard_stage(
+            specs, self.placement, self.cost_model
+        )
+        return self.last_schedule
+
+    def maybe_compact(self) -> int:
+        """Idle-time opportunity: compact the shards whose policy fires.
+
+        Each shard consults its own
+        :class:`~repro.mrbgraph.compaction.CompactionPolicy` against its
+        own batch stack, so a hot shard can compact while its siblings
+        keep cheap append-only batches.  Returns how many shards
+        compacted.
+        """
+        self._check_open()
+        return sum(1 for shard in self._shards if shard.maybe_compact())
+
     def save_index(self) -> int:
         """Flush every shard's hash index in parallel; returns total bytes.
 
         Index flushes ship plain-data payloads
         (:func:`run_shard_index_flush`) producing byte-identical
         ``mrbg.idx`` files to per-shard :meth:`MRBGStore.save_index`
-        calls; the write cost is charged to each shard's metrics exactly
-        as the serial path would.
+        calls (same atomic temp + fsync + rename swap); the write cost is
+        charged to each shard's metrics exactly as the serial path would,
+        and each shard's write-ahead log is reset to a checkpoint once
+        its index is durable.
         """
         self._check_open()
+        if any(shard.fault_hook is not None for shard in self._shards):
+            # Crash injection needs the in-operation ``pre-index-swap``
+            # site — flush serially through MRBGStore.save_index.
+            specs = []
+            sizes = []
+            for sid, shard in enumerate(self._shards):
+                nbytes = shard.save_index()
+                sizes.append(nbytes)
+                specs.append(
+                    ShardTaskSpec(
+                        task_id=f"flush-{sid:04d}",
+                        cost_s=shard.cost_model.store_write_time(nbytes),
+                        shard_id=sid,
+                        read_bytes=0,
+                    )
+                )
+            self.last_schedule = schedule_shard_stage(
+                specs, self.placement, self.cost_model
+            )
+            return sum(sizes)
+        for shard in self._shards:
+            shard._wal_flush()
         tasks = [
             ShardIndexFlushTask(
                 shard_id=sid,
@@ -682,6 +816,7 @@ class ShardedMRBGStore:
             shard.metrics.bytes_written += nbytes
             write_s = shard.cost_model.store_write_time(nbytes)
             shard.metrics.write_time_s += write_s
+            shard._wal_reset()
             specs.append(
                 ShardTaskSpec(
                     task_id=f"flush-{sid:04d}",

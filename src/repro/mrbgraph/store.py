@@ -12,26 +12,61 @@ multi-dynamic-window query strategy (§5.2) optimizes.
 Simulated time (`metrics.read_time_s`, `metrics.write_time_s`) is charged
 from the cost model per physical I/O, while I/O request counts and byte
 counts are measured facts — Table 4 reports all three.
+
+Durability (see :mod:`repro.mrbgraph.wal`): every mutation is journaled
+to a per-store write-ahead log before it touches ``mrbg.dat``, the index
+is swapped atomically, and :meth:`MRBGStore.open` replays the log so a
+store killed mid-merge or mid-compaction always reopens either at the
+state before the interrupted operation or at the state after it.  When
+to compact is delegated to a pluggable policy
+(:mod:`repro.mrbgraph.compaction`).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.cluster.costmodel import CostModel
 from repro.common import config
 from repro.common.errors import StoreClosedError, StoreError
 from repro.common.kvpair import sort_key
 from repro.common.serialization import decode_many, encode_many
+from repro.faults.injection import CrashDirective, InjectedCrash
 from repro.mrbgraph.chunk import decode_chunk, encode_chunk
+from repro.mrbgraph.compaction import (
+    CompactionSpec,
+    CompactionStats,
+    compaction_policy,
+    stats_for_index,
+)
 from repro.mrbgraph.graph import DeltaEdge, Edge, apply_delta
+from repro.mrbgraph.wal import (
+    OP_BEGIN,
+    OP_COMMIT,
+    OP_COMPACT_BEGIN,
+    OP_COMPACT_COMMIT,
+    OP_DELETE,
+    OP_PUT,
+    WAL_FILE,
+    WriteAheadLog,
+    atomic_write,
+    encode_wal_record,
+    recover_from_records,
+)
 from repro.mrbgraph.windows import (
     ChunkLocation,
     MultiDynamicWindowPolicy,
     WindowPolicy,
 )
+
+#: Signature of a store crash-injection hook (see
+#: :meth:`repro.faults.context.FaultContext.store_hook`): called at every
+#: named durability site with ``(point, shard_id, nbytes)``; answering a
+#: :class:`~repro.faults.injection.CrashDirective` kills the operation
+#: there.
+FaultHook = Callable[..., Optional[CrashDirective]]
 
 _DATA_FILE = "mrbg.dat"
 _INDEX_FILE = "mrbg.idx"
@@ -89,21 +124,31 @@ def compact_data_file(
     data_path: str,
     locations: List[ChunkLocation],
     append_buffer_size: int,
+    replace: bool = True,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> Tuple[List[ChunkLocation], int]:
     """Stream-rewrite live chunks into a compacted data file.
 
     ``locations`` is the live-chunk placement list in K2 order.  The
     rewrite copies each chunk into a sibling temp file (coalescing
     physically contiguous chunks into single reads, flushing the output
-    in ``append_buffer_size`` batches) and atomically replaces
-    ``data_path``.  Returns the new locations (same order, batch 0) and
-    the compacted file size.  Pure function of the file content, so
+    in ``append_buffer_size`` batches) and — when ``replace`` is true —
+    atomically replaces ``data_path``; with ``replace=False`` the
+    complete rewrite is left beside the data file as
+    ``data_path + ".compact"`` so a WAL-protected caller can journal its
+    commit record before performing the swap itself.  ``progress`` (if
+    given) is called with the cumulative output byte count after every
+    physical temp-file write — the ``mid-compact-write`` crash site;
+    raising from it abandons a partial temp file and leaves ``data_path``
+    untouched.  Returns the new locations (same order, batch 0) and the
+    compacted file size.  Pure function of the file content, so
     per-shard compactions can run concurrently on any execution backend
     with byte-identical results.
     """
     tmp_path = data_path + ".compact"
     new_locations: List[ChunkLocation] = []
     out_offset = 0
+    written = 0
     with open(data_path, "rb") as src, open(tmp_path, "wb") as out:
         buffer = bytearray()
         i = 0
@@ -128,17 +173,31 @@ def compact_data_file(
                 out_offset += locations[k].length
             if len(buffer) >= append_buffer_size:
                 out.write(buffer)
+                written += len(buffer)
                 buffer.clear()
+                if progress is not None:
+                    progress(written)
             i = j
         if buffer:
             out.write(buffer)
-    os.replace(tmp_path, data_path)
+            written += len(buffer)
+            if progress is not None:
+                progress(written)
+    if replace:
+        os.replace(tmp_path, data_path)
     return new_locations, out_offset
 
 
 @dataclass
 class StoreMetrics:
-    """Measured and simulated I/O statistics of one MRBG-Store."""
+    """Measured and simulated I/O statistics of one MRBG-Store.
+
+    The ``wal_*`` fields and ``recoveries`` account write-ahead-log
+    maintenance and crash recovery *separately* from the paper's store
+    I/O — like ``compact_time_s`` they are never folded into a job's
+    simulated stage times, so turning durability on changes no Fig 8–13
+    or Table 4 number.
+    """
 
     io_reads: int = 0
     bytes_read: int = 0
@@ -150,6 +209,12 @@ class StoreMetrics:
     cache_misses: int = 0
     compactions: int = 0
     compact_time_s: float = 0.0
+    wal_appends: int = 0
+    wal_bytes_written: int = 0
+    wal_write_time_s: float = 0.0
+    wal_bytes_replayed: int = 0
+    wal_replay_time_s: float = 0.0
+    recoveries: int = 0
 
     def reset(self) -> None:
         """Zero every statistic."""
@@ -185,6 +250,10 @@ class MRBGStore:
         cost_model: Optional[CostModel] = None,
         append_buffer_size: int = config.DEFAULT_APPEND_BUFFER_SIZE,
         prefetch_lookahead: int = config.DEFAULT_PREFETCH_LOOKAHEAD,
+        wal_enabled: Optional[bool] = None,
+        compaction: CompactionSpec = None,
+        fault_hook: Optional[FaultHook] = None,
+        shard_id: int = 0,
     ) -> None:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
@@ -193,6 +262,14 @@ class MRBGStore:
         self.append_buffer_size = append_buffer_size
         self.prefetch_lookahead = prefetch_lookahead
         self.metrics = StoreMetrics()
+        self.wal_enabled = (
+            config.DEFAULT_WAL_ENABLED if wal_enabled is None else wal_enabled
+        )
+        self.compaction = compaction_policy(compaction)
+        self.fault_hook = fault_hook
+        #: shard index this store plays in a sharded store (0 standalone);
+        #: crash-injection hooks key their hit counters on it.
+        self.shard_id = shard_id
 
         self._data_path = os.path.join(directory, _DATA_FILE)
         if not os.path.exists(self._data_path):
@@ -201,6 +278,14 @@ class MRBGStore:
         self._fh = open(self._data_path, "r+b")
         self._file_size = os.path.getsize(self._data_path)
         self._closed = False
+        self._crashed = False
+        # Lazily-created journal: the file appears on the first flushed
+        # append, so read-only opens of legacy directories stay pristine.
+        self._wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(os.path.join(directory, WAL_FILE))
+            if self.wal_enabled
+            else None
+        )
 
         self._index: Dict[Any, ChunkLocation] = {}
         self._num_batches = 0
@@ -231,6 +316,10 @@ class MRBGStore:
         directory: str,
         policy: Optional[WindowPolicy] = None,
         cost_model: Optional[CostModel] = None,
+        wal_enabled: Optional[bool] = None,
+        compaction: CompactionSpec = None,
+        fault_hook: Optional[FaultHook] = None,
+        shard_id: int = 0,
     ) -> "MRBGStore":
         """Reopen a store previously persisted with :meth:`save_index`.
 
@@ -240,8 +329,22 @@ class MRBGStore:
         legacy single-dict encoding of older stores.  The physical
         ``mrbg.idx`` read is charged to the store metrics and the cost
         model like any other store I/O, so Table 4 accounting is complete.
+
+        When a write-ahead log is present it is then replayed
+        (:meth:`_recover`): operations that committed after the last
+        index flush are rolled forward, interrupted ones are rolled back,
+        and torn journal/data tails are truncated — so a store killed at
+        *any* point reopens at a consistent pre- or post-operation state.
         """
-        store = cls(directory, policy=policy, cost_model=cost_model)
+        store = cls(
+            directory,
+            policy=policy,
+            cost_model=cost_model,
+            wal_enabled=wal_enabled,
+            compaction=compaction,
+            fault_hook=fault_hook,
+            shard_id=shard_id,
+        )
         index_path = os.path.join(directory, _INDEX_FILE)
         if os.path.exists(index_path):
             with open(index_path, "rb") as fh:
@@ -250,24 +353,130 @@ class MRBGStore:
             store.metrics.bytes_read += len(raw)
             store.metrics.read_time_s += store.cost_model.store_read_time(len(raw))
             store._index, store._num_batches = decode_index(raw)
+        store._recover()
         return store
 
+    def _recover(self) -> None:
+        """Replay the write-ahead log against the just-loaded index.
+
+        Runs the :func:`repro.mrbgraph.wal.recover_from_records` state
+        machine, then makes its verdict physical: roll a committed
+        compaction's data-file swap forward, delete stray temp files,
+        truncate any torn data tail, redo committed appends at their
+        journaled offsets, and apply the journaled index operations.
+        When anything actually changed, the repaired index is persisted
+        atomically and the log is reset — recovery is idempotent, and a
+        cleanly-closed store replays a single checkpoint record without
+        touching disk.  Replay I/O is charged to the dedicated ``wal_*``
+        metrics, never to the paper's read/write counters.
+        """
+        if self._wal is None:
+            return
+        replay = WriteAheadLog.replay_file(self._wal.path)
+        if replay is None:
+            return
+        self.metrics.wal_bytes_replayed += replay.total_bytes
+        self.metrics.wal_replay_time_s += self.cost_model.wal_replay_time(
+            replay.total_bytes
+        )
+        recovered = recover_from_records(
+            replay.records, self._file_size, self._num_batches
+        )
+
+        compact_tmp = self._data_path + ".compact"
+        stray_compact = os.path.exists(compact_tmp) and not recovered.compact_pending
+        stray_paths = [
+            path
+            for path in (
+                os.path.join(self.directory, _INDEX_FILE) + ".tmp",
+                self._wal.path + ".tmp",
+            )
+            if os.path.exists(path)
+        ]
+        if stray_compact:
+            stray_paths.append(compact_tmp)
+        for path in stray_paths:
+            os.remove(path)
+
+        if recovered.compact_pending and os.path.exists(compact_tmp):
+            # Commit record durable, swap interrupted: finish the swap.
+            self._fh.close()
+            os.replace(compact_tmp, self._data_path)
+            self._fh = open(self._data_path, "r+b")
+
+        for op in recovered.index_ops:
+            if op[0] == "put":
+                self._index[op[1]] = ChunkLocation(op[2], op[3], op[4])
+            elif op[0] == "delete":
+                self._index.pop(op[1], None)
+            else:  # ("replace", entries) — a committed compaction
+                self._index = {
+                    key: ChunkLocation(offset, length, 0)
+                    for key, offset, length in op[1]
+                }
+
+        physical = os.path.getsize(self._data_path)
+        if physical > recovered.data_size:
+            self._fh.truncate(recovered.data_size)
+        for offset, raw in recovered.appends:
+            self._fh.seek(offset)
+            self._fh.write(raw)
+        if recovered.appends:
+            self._fh.flush()
+        self._file_size = recovered.data_size
+        self._num_batches = recovered.num_batches
+
+        changed = (
+            recovered.rolled_back
+            or recovered.rolled_forward
+            or replay.truncated
+            or bool(stray_paths)
+            or physical != recovered.data_size
+        )
+        if changed:
+            self.metrics.recoveries += 1
+            # Persist the repaired state so recovery converges: the next
+            # open replays only a checkpoint.  Bypasses the fault hook —
+            # crash sites belong to foreground operations, not recovery.
+            raw = encode_index(self._index, self._num_batches)
+            atomic_write(os.path.join(self.directory, _INDEX_FILE), raw)
+            self.metrics.io_writes += 1
+            self.metrics.bytes_written += len(raw)
+            self.metrics.write_time_s += self.cost_model.store_write_time(len(raw))
+            self._wal_reset()
+
     def save_index(self) -> int:
-        """Persist the hash index to disk; returns bytes written.
+        """Persist the hash index to disk atomically; returns bytes written.
 
         The index is written as a stream of top-level values — a header
         carrying ``num_batches`` and the entry count, then one
         ``(key, offset, length, batch)`` tuple per live chunk — so
         :meth:`open` reloads it with one bulk ``decode_many`` pass.  The
-        write is charged to the store metrics and the cost model.
+        bytes land in a temp file that is fsynced and renamed over
+        ``mrbg.idx`` (readers see the old or the new index, never a torn
+        mix), after which the write-ahead log — whose every journaled
+        operation the new index now reflects — is reset to a checkpoint.
+        The write is charged to the store metrics and the cost model.
         """
+        if self._crashed:
+            return 0
         self._check_open()
+        self._wal_flush()
         raw = encode_index(self._index, self._num_batches)
-        with open(os.path.join(self.directory, _INDEX_FILE), "wb") as fh:
-            fh.write(raw)
+        pre_replace = None
+        if self.fault_hook is not None:
+            def pre_replace() -> None:
+                directive = self.fault_hook("pre-index-swap", self.shard_id, len(raw))
+                if directive is not None:
+                    self._crash("pre-index-swap", directive)
+
+        atomic_write(
+            os.path.join(self.directory, _INDEX_FILE), raw, pre_replace=pre_replace
+        )
         self.metrics.io_writes += 1
         self.metrics.bytes_written += len(raw)
         self.metrics.write_time_s += self.cost_model.store_write_time(len(raw))
+        self._wal_reset()
         return len(raw)
 
     def close(self) -> None:
@@ -276,12 +485,93 @@ class MRBGStore:
             return
         if self._in_session:
             self.end_merge()
+        if self._wal is not None:
+            self._wal_flush()
+            self._wal.close()
         self._fh.close()
         self._closed = True
+
+    def abandon(self) -> None:
+        """Drop the store without flushing anything (a simulated kill).
+
+        Pending append-buffer chunks and unflushed journal records are
+        lost exactly as a killed process would lose them; the directory
+        is left for :meth:`open` to recover.  Used by the fault-injection
+        suite; all subsequent mutating calls become no-ops.
+        """
+        if self._closed:
+            return
+        self._crashed = True
+        if self._wal is not None:
+            self._wal.abandon()
+        self._fh.close()
+        self._closed = True
+
+    @property
+    def crashed(self) -> bool:
+        """Whether an injected crash (or :meth:`abandon`) killed this store."""
+        return self._crashed
+
+    def _crash(self, point: str, directive: CrashDirective) -> None:
+        """Kill the store at a crash site: release handles, then raise.
+
+        After this, every mutating method is a silent no-op (notably the
+        ``end_merge`` that :meth:`merge_delta` runs in its ``finally``),
+        so the on-disk state stays exactly as the kill left it until
+        :meth:`open` recovers the directory.
+        """
+        self._crashed = True
+        if self._wal is not None:
+            self._wal.abandon()
+        self._fh.close()
+        self._closed = True
+        raise InjectedCrash(point, self.shard_id, directive.occurrence)
 
     def _check_open(self) -> None:
         if self._closed:
             raise StoreClosedError("store is closed")
+
+    # ------------------------------------------------------------------ #
+    # write-ahead log plumbing                                           #
+    # ------------------------------------------------------------------ #
+
+    def _wal_append(self, op: int, *fields: Any) -> None:
+        """Journal one record (staged in memory until :meth:`_wal_flush`).
+
+        The ``wal-append`` crash site lives here: a firing fault hook
+        flushes the staged records plus the directive's byte-offset
+        prefix of this record — the torn tail replay must survive — and
+        kills the store.
+        """
+        if self._wal is None:
+            return
+        if self.fault_hook is not None:
+            raw = encode_wal_record(op, *fields)
+            directive = self.fault_hook("wal-append", self.shard_id, len(raw))
+            if directive is not None:
+                upto = directive.byte_offset if directive.byte_offset else 0
+                self._wal.flush_partial(raw, min(upto, len(raw)))
+                self._crash("wal-append", directive)
+        self._wal.append(op, *fields)
+        self.metrics.wal_appends += 1
+
+    def _wal_flush(self) -> None:
+        """Push staged journal records to the OS, charging ``wal_*`` time."""
+        if self._wal is None:
+            return
+        flushed = self._wal.flush()
+        if flushed:
+            self.metrics.wal_bytes_written += flushed
+            self.metrics.wal_write_time_s += self.cost_model.wal_append_time(flushed)
+
+    def _wal_reset(self) -> None:
+        """Truncate the journal to a checkpoint of the persisted state."""
+        if self._wal is None:
+            return
+        nbytes = self._wal.reset(self._file_size, self._num_batches)
+        self.metrics.wal_appends += 1
+        self.metrics.wal_bytes_written += nbytes
+        self.metrics.wal_write_time_s += self.cost_model.wal_append_time(nbytes)
 
     # ------------------------------------------------------------------ #
     # introspection                                                      #
@@ -349,6 +639,7 @@ class MRBGStore:
         self._windows.clear()
 
     def _begin_session(self) -> None:
+        self._wal_append(OP_BEGIN, self._file_size, self._num_batches)
         self._in_session = True
         self._buffer = []
         self._buffer_len = 0
@@ -412,6 +703,7 @@ class MRBGStore:
         if not self._in_session:
             raise StoreError("put_chunk outside a merge session")
         raw = encode_chunk(key, entries)
+        self._wal_append(OP_PUT, key, raw)
         offset = self._file_size + self._buffer_len
         self._buffer.append(raw)
         self._buffer_len += len(raw)
@@ -424,12 +716,16 @@ class MRBGStore:
         self._check_open()
         if not self._in_session:
             raise StoreError("delete_chunk outside a merge session")
+        self._wal_append(OP_DELETE, key)
         self._pending_deletes.append(key)
         self._pending_index.pop(key, None)
 
     def _flush_buffer(self) -> None:
-        if not self._buffer:
+        if self._crashed or not self._buffer:
             return
+        # Write-ahead: the journal records covering these chunks reach
+        # the OS before the data bytes do.
+        self._wal_flush()
         raw = b"".join(self._buffer)
         self._fh.seek(self._file_size)
         self._fh.write(raw)
@@ -442,12 +738,27 @@ class MRBGStore:
         self._buffer_len = 0
 
     def end_merge(self) -> None:
-        """Flush the append buffer and publish the new batch in the index."""
+        """Flush the append buffer and publish the new batch in the index.
+
+        The session's commit record is journaled — and flushed — *before*
+        the data flush, so on recovery a committed session replays to the
+        exact published state whether or not its data bytes landed.
+        After an injected crash this is a silent no-op (the ``finally``
+        of :meth:`merge_delta` must not resurrect a killed session).
+        """
+        if self._crashed:
+            return
         self._check_open()
         if not self._in_session:
             raise StoreError("end_merge without begin_merge")
-        self._flush_buffer()
         wrote_any = bool(self._pending_index)
+        self._wal_append(
+            OP_COMMIT,
+            self._file_size + self._buffer_len,
+            self._num_batches + (1 if wrote_any else 0),
+        )
+        self._wal_flush()
+        self._flush_buffer()
         for key in self._pending_deletes:
             self._index.pop(key, None)
         self._index.update(self._pending_index)
@@ -503,7 +814,16 @@ class MRBGStore:
         of the whole data file.  The simulated cost is unchanged from the
         full-file reconstruction the paper describes: one sequential scan
         of the old file plus one sequential write of the live bytes.
+
+        With the write-ahead log enabled the rewrite is crash-safe: a
+        compaction *intent* is journaled before the temp file is written
+        and the *commit* record — carrying the complete new placement
+        list — is flushed before the temp file replaces ``mrbg.dat``.
+        Recovery rolls an uncommitted rewrite back (deleting the temp)
+        and a committed one forward (finishing the swap).
         """
+        if self._crashed:
+            return
         self._check_open()
         if self._in_session:
             raise StoreError("cannot compact during a merge session")
@@ -511,10 +831,39 @@ class MRBGStore:
 
         keys = self.keys()
         locations = [self._index[key] for key in keys]
+        self._wal_append(OP_COMPACT_BEGIN)
+        self._wal_flush()
+        progress = None
+        if self.fault_hook is not None:
+            def progress(written: int) -> None:
+                directive = self.fault_hook(
+                    "mid-compact-write", self.shard_id, written
+                )
+                if directive is not None:
+                    self._crash("mid-compact-write", directive)
+
         new_locations, out_offset = compact_data_file(
-            self._data_path, locations, self.append_buffer_size
+            self._data_path,
+            locations,
+            self.append_buffer_size,
+            replace=self._wal is None,
+            progress=progress,
         )
         new_index = dict(zip(keys, new_locations))
+        if self._wal is not None:
+            self._wal_append(
+                OP_COMPACT_COMMIT,
+                [(key, loc.offset, loc.length) for key, loc in zip(keys, new_locations)],
+                out_offset,
+            )
+            self._wal_flush()
+            if self.fault_hook is not None:
+                directive = self.fault_hook(
+                    "post-compact-pre-swap", self.shard_id, out_offset
+                )
+                if directive is not None:
+                    self._crash("post-compact-pre-swap", directive)
+            os.replace(self._data_path + ".compact", self._data_path)
 
         self._fh.close()
         self._fh = open(self._data_path, "r+b")
@@ -526,3 +875,24 @@ class MRBGStore:
         self.metrics.compact_time_s += compact_read_s + self.cost_model.store_write_time(
             out_offset
         )
+
+    def compaction_stats(self) -> CompactionStats:
+        """Live statistics the compaction policy consults."""
+        return stats_for_index(self._index, self._num_batches, self._file_size)
+
+    def maybe_compact(self) -> bool:
+        """Idle-time compaction opportunity: rewrite iff the policy fires.
+
+        The engines (and callers simulating "when the worker is idle",
+        §3.4) call this instead of :meth:`compact` so the configured
+        :class:`~repro.mrbgraph.compaction.CompactionPolicy` decides
+        whether the rewrite pays for itself yet.  Returns whether a
+        compaction ran.
+        """
+        if self._crashed or self._in_session:
+            return False
+        self._check_open()
+        if not self.compaction.should_compact(self.compaction_stats()):
+            return False
+        self.compact()
+        return True

@@ -48,6 +48,8 @@ def test_readme_documents_env_knobs():
         "REPRO_APPEND_BUFFER_SIZE",
         "REPRO_PREFETCH_LOOKAHEAD",
         "REPRO_SHARDS",
+        "REPRO_WAL",
+        "REPRO_COMPACTION",
         "REPRO_BENCH_SCALE",
     ):
         assert knob in readme, f"{knob} missing from README.md"
@@ -93,6 +95,24 @@ def test_store_doc_covers_sharding():
         "ShardRouter",
         "compact",
         "mrbgstore_tour.py",
+    ):
+        assert term in store, f"{term} missing from docs/store.md"
+
+
+def test_store_doc_covers_durability():
+    """docs/store.md documents the WAL, recovery and compaction knobs."""
+    store = (ROOT / "docs" / "store.md").read_text(encoding="utf-8")
+    assert "## Durability & recovery" in store
+    for term in (
+        "mrbg.wal",
+        "wal_records.json",
+        "wal-append",
+        "pre-index-swap",
+        "mid-compact-write",
+        "post-compact-pre-swap",
+        "size-tiered",
+        "leveled",
+        "--runslow",
     ):
         assert term in store, f"{term} missing from docs/store.md"
 
