@@ -1,0 +1,156 @@
+"""Benchmark — resilient executor: throughput and simulated overhead
+under injected transient-fault rates (0% / 1% / 5% / 20%) across the
+serial/thread/process backends.
+
+Writes ``BENCH_resilience.json`` at the repository root (the sibling of
+``BENCH_hotpaths.json``); ``tools/bench_report.py`` renders all three.
+Every combination is also checked for *correctness*: the values returned
+by :meth:`~repro.resilience.executor.ResilientExecutor.run_tasks` must
+be identical whatever the fault rate or backend — retries may cost
+simulated backoff, results may not move.
+
+Run it alone with::
+
+    REPRO_BENCH_SCALE=test python -m pytest benchmarks/test_bench_resilience.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+from benchmarks.conftest import run_once
+from repro.common.hashing import stable_hash
+from repro.execution import resolve_executor
+from repro.faults.injection import TaskFaultDirective
+from repro.resilience.executor import ResilientExecutor
+from repro.resilience.policy import RetryPolicy
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_ROOT, "BENCH_resilience.json")
+
+FAILURE_RATES = (0.0, 0.01, 0.05, 0.20)
+BACKENDS = ("serial", "thread", "process")
+
+#: per-scale workload shape: (num_tasks, inner_loop_iterations).
+_SCALES = {
+    "test": (400, 300),
+    "small": (2000, 1000),
+    "medium": (8000, 2000),
+}
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_resilience.json``."""
+    doc = {}
+    if os.path.exists(_OUT_PATH):
+        with open(_OUT_PATH) as fh:
+            doc = json.load(fh)
+    doc.setdefault("schema", "bench-resilience/1")
+    doc["host"] = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
+    }
+    doc[section] = payload
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _task(payload):
+    """Pure CPU task: (index, iters) → (index, checksum)."""
+    index, iters = payload
+    total = 0
+    for i in range(iters):
+        total += (i * i) ^ index
+    return (index, total)
+
+
+def _make_hook(rate: float, seed: int = 1234):
+    """Deterministic transient-fault hook firing on ~``rate`` of tasks.
+
+    Each selected task fails exactly its first attempt — the retry then
+    succeeds — so the measured overhead is the retry machinery itself,
+    not an unbounded failure cascade.
+    """
+    threshold = int(rate * 1_000_000)
+    hits: dict = {}
+
+    def hook(task_index: int):
+        occurrence = hits.get(task_index, 0)
+        hits[task_index] = occurrence + 1
+        if occurrence == 0 and stable_hash((seed, task_index)) % 1_000_000 < threshold:
+            return TaskFaultDirective(kind="transient", occurrence=0)
+        return None
+
+    return hook
+
+
+def test_bench_resilience_overhead(benchmark, bench_scale):
+    """Throughput + simulated backoff at each fault rate, per backend."""
+    num_tasks, iters = _SCALES.get(bench_scale, _SCALES["test"])
+    payloads = [(i, iters) for i in range(num_tasks)]
+    policy = RetryPolicy(max_retries=3, timeout_s=None, speculation=False)
+
+    results: dict = {name: {} for name in BACKENDS}
+    reference = None
+    for name in BACKENDS:
+        inner = resolve_executor(name)
+        for rate in FAILURE_RATES:
+            wrapper = ResilientExecutor(
+                inner, policy=policy, fault_hook=_make_hook(rate)
+            )
+            t0 = time.perf_counter()
+            values = wrapper.run_tasks(_task, payloads, picklable=True)
+            wall_s = time.perf_counter() - t0
+            wrapper.close()
+
+            if reference is None:
+                reference = values
+            # Correctness: results never move with fault rate or backend.
+            assert values == reference, (name, rate)
+
+            stats = wrapper.stats
+            results[name][f"{rate:.2f}"] = {
+                "tasks_per_s": round(num_tasks / wall_s, 1),
+                "wall_s": round(wall_s, 4),
+                "task_failures": stats.task_failures,
+                "retries": stats.retries,
+                "sim_backoff_s": round(stats.sim_backoff_s, 4),
+                "degraded_batches": stats.degraded_batches,
+            }
+        inner.close()
+
+    # The fault-free passthrough must not pay for the machinery it skips
+    # and injected failures must actually charge simulated backoff.
+    for name in BACKENDS:
+        assert results[name]["0.00"]["retries"] == 0
+        assert results[name]["0.00"]["sim_backoff_s"] == 0.0
+        assert results[name]["0.20"]["retries"] > 0
+        assert results[name]["0.20"]["sim_backoff_s"] > 0.0
+        # Simulated overhead grows with the failure rate.
+        assert (
+            results[name]["0.20"]["sim_backoff_s"]
+            > results[name]["0.01"]["sim_backoff_s"]
+        )
+
+    payload = {
+        "failure_rates": [f"{rate:.2f}" for rate in FAILURE_RATES],
+        "num_tasks": num_tasks,
+        "max_retries": policy.max_retries,
+        "backends": results,
+    }
+    _record("task_resilience", payload)
+    benchmark.extra_info.update({"task_resilience": results})
+    run_once(benchmark, lambda: None)
+    for name in BACKENDS:
+        row = ", ".join(
+            f"{rate:.0%} {results[name][f'{rate:.2f}']['tasks_per_s']} t/s"
+            f"/+{results[name][f'{rate:.2f}']['sim_backoff_s']}s sim"
+            for rate in FAILURE_RATES
+        )
+        print(f"\nresilience [{name}]: {row}")

@@ -72,6 +72,14 @@ class CostModel:
     #: windows), so a request costs far less than a full random seek —
     #: ~130 µs reproduces Table 4's measured per-read cost.
     store_io_overhead_s: float = 130e-6
+    #: Base delay before the first re-execution of a failed task (s).
+    retry_backoff_base_s: float = 1.0
+    #: Cap on the exponential retry backoff (s).
+    retry_backoff_cap_s: float = 30.0
+    #: Jitter fraction subtracted from the backoff (0 = none, 0.5 = up to
+    #: half); the jitter itself is a deterministic hash of the retry
+    #: token, so simulated times stay reproducible.
+    retry_backoff_jitter: float = 0.5
 
     def disk_read_time(self, nbytes: int, seeks: int = 1) -> float:
         """Time to read ``nbytes`` with ``seeks`` random repositionings."""
@@ -128,6 +136,29 @@ class CostModel:
     def wal_replay_time(self, nbytes: int) -> float:
         """One recovery-time sequential read of a write-ahead log."""
         return self.store_io_overhead_s + nbytes / self.disk_read_bw
+
+    def task_retry_backoff_time(self, attempt: int, token: int = 0) -> float:
+        """Simulated wait before re-executing a failed task.
+
+        Capped exponential backoff with deterministic jitter: attempt 0's
+        retry waits about ``retry_backoff_base_s``, each further attempt
+        doubles it up to ``retry_backoff_cap_s``, and ``token`` (a stable
+        hash of the task's identity) shaves off up to
+        ``retry_backoff_jitter`` of the delay so simultaneous retries
+        de-synchronize without introducing host randomness.  Charged to
+        the dedicated resilience account
+        (:attr:`repro.execution.ExecutorStats.sim_backoff_s`), never to
+        the paper's stage times — like WAL maintenance, failure handling
+        is accounted separately so fault-free metrics are untouched.
+        """
+        if attempt < 0:
+            return 0.0
+        base = self.retry_backoff_base_s * (2.0 ** attempt)
+        if base > self.retry_backoff_cap_s:
+            base = self.retry_backoff_cap_s
+        # 10-bit deterministic jitter fraction in [0, 1).
+        frac = ((token ^ (token >> 17)) & 0x3FF) / 1024.0
+        return base * (1.0 - self.retry_backoff_jitter * frac)
 
     def cross_shard_read_time(self, nbytes: int) -> float:
         """Penalty for running a shard task away from the shard's owner.

@@ -98,6 +98,53 @@ def _default_max_workers() -> "int | None":
     return int(raw) if raw else None
 
 
+#: Default number of times a failed task is transparently re-executed
+#: before the failure propagates (the MapReduce fault-tolerance
+#: contract).  Retries are charged capped exponential backoff on the
+#: *simulated* clock (see
+#: :meth:`repro.cluster.costmodel.CostModel.task_retry_backoff_time`)
+#: but never change task outputs — re-execution of a pure payload is
+#: byte-identical.  Overridable via the ``REPRO_TASK_RETRIES``
+#: environment variable.
+DEFAULT_TASK_RETRIES = _env_int("REPRO_TASK_RETRIES", 2)
+
+
+def _env_float(name: str) -> "float | None":
+    raw = os.environ.get(name)
+    return float(raw) if raw else None
+
+
+#: Default per-attempt host-side task timeout in seconds; an attempt
+#: running longer is a *straggler* (speculation may duplicate it).
+#: ``None`` disables straggler detection.  Overridable via the
+#: ``REPRO_TASK_TIMEOUT`` environment variable.
+DEFAULT_TASK_TIMEOUT_S = _env_float("REPRO_TASK_TIMEOUT")
+
+#: Whether straggler tasks are speculatively re-executed with
+#: first-result-wins semantics (safe because task payloads are pure).
+#: Off by default; overridable via the ``REPRO_SPECULATION``
+#: environment variable.
+DEFAULT_SPECULATION = _env_flag("REPRO_SPECULATION", False)
+
+#: Consecutive failures on one simulated worker before the resilient
+#: executor blacklists it (tasks re-route to the remaining workers).
+DEFAULT_BLACKLIST_AFTER = _env_int("REPRO_BLACKLIST_AFTER", 3)
+
+
+def _chaos_seed() -> "int | None":
+    raw = os.environ.get("REPRO_CHAOS_SEED")
+    return int(raw) if raw else None
+
+
+#: Chaos-testing seed: when set (``REPRO_CHAOS_SEED``), every resilient
+#: executor injects deterministic pseudo-random transient task failures
+#: at rate :data:`CHAOS_RATE` — outputs must stay byte-identical, which
+#: is exactly what the CI chaos job asserts across whole test suites.
+CHAOS_SEED = _chaos_seed()
+
+#: Fraction of first task attempts the chaos mode fails (``REPRO_CHAOS_RATE``).
+CHAOS_RATE = float(os.environ.get("REPRO_CHAOS_RATE") or 0.05)
+
 #: Default host execution backend for running map/reduce task batches
 #: (``"serial"`` / ``"thread"`` / ``"process"``); see
 #: :mod:`repro.execution`.  Overridable per job via ``JobConf.executor``

@@ -64,12 +64,66 @@ class TaskFailure(JobError):
         self.task_id = task_id
 
 
+class RetriesExhausted(JobError):
+    """A task kept failing after every permitted re-execution.
+
+    Raised by :class:`repro.resilience.ResilientExecutor` once a task has
+    consumed its retry budget; carries the task's index within the batch
+    and the final underlying failure description.
+    """
+
+    def __init__(self, task_index: int, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"task {task_index} failed {attempts} attempt(s); giving up: {cause}"
+        )
+        self.task_index = task_index
+        self.attempts = attempts
+        self.cause = cause
+
+
+class DeadLetteredBatch(StreamError):
+    """A streaming micro-batch failed every retry and was dead-lettered.
+
+    Never raised out of :meth:`repro.streaming.pipeline.ContinuousPipeline.run`
+    — the pipeline records the poison batch and keeps going — but kept as
+    the typed wrapper stored in the pipeline's dead-letter queue.
+    """
+
+    def __init__(self, batch_index: int, attempts: int, cause: str) -> None:
+        super().__init__(
+            f"batch {batch_index} dead-lettered after {attempts} attempt(s): {cause}"
+        )
+        self.batch_index = batch_index
+        self.attempts = attempts
+        self.cause = cause
+
+
 class StoreError(ReproError):
     """Base class for MRBG-Store errors."""
 
 
 class StoreClosedError(StoreError):
     """An operation was attempted on a closed MRBG-Store."""
+
+
+class WALCorruptError(StoreError):
+    """A write-ahead log contains mid-log corruption (not a torn tail).
+
+    A crash can only tear the *tail* of a sequential append, and torn
+    tails are tolerated (replay stops and recovery rolls back).  A record
+    that is fully present in the file but fails its checksum — or decodes
+    to something other than an opcode tuple — means the log was damaged
+    some other way (bit rot, external truncation/edit); silently dropping
+    the suffix could resurrect stale preserved state, so this fails
+    loudly instead.
+    """
+
+    def __init__(self, path: str, offset: int, reason: str) -> None:
+        super().__init__(f"corrupt WAL record in {path or '<buffer>'} "
+                         f"at byte {offset}: {reason}")
+        self.path = path
+        self.offset = offset
+        self.reason = reason
 
 
 class ChunkNotFound(StoreError):

@@ -82,18 +82,42 @@ class ExecutorSelector:
     Backends the selector constructs are cached by ``(name,
     max_workers)`` and shut down together by :meth:`close`; backends the
     caller constructed are passed through and never closed here.
+
+    When a job carries a :class:`repro.resilience.RetryPolicy` (see
+    :meth:`get`'s ``resilience`` argument), the selector wraps the
+    cached backend in a :class:`repro.resilience.ResilientExecutor` —
+    one wrapper per ``(name, max_workers, policy)``, sharing the
+    underlying pool — and refreshes the wrapper's ``fault_hook`` from
+    :attr:`task_fault_hook` on every call.
     """
 
-    def __init__(self, default: ExecutorSpec = None) -> None:
+    def __init__(self, default: ExecutorSpec = None, cost_model=None) -> None:
         self._default = default
+        #: Cost model resilient wrappers charge simulated backoff to.
+        self.cost_model = cost_model
+        #: Parent-side task fault hook (see
+        #: :meth:`repro.faults.context.FaultContext.task_hook`) handed to
+        #: every resilient wrapper this selector builds.
+        self.task_fault_hook = None
         self._cache: Dict[Tuple[str, Optional[int]], ExecutionBackend] = {}
+        self._wrappers: Dict[Tuple, ExecutionBackend] = {}
 
     def get(
         self,
         spec: ExecutorSpec = None,
         max_workers: Optional[int] = None,
+        resilience=None,
     ) -> ExecutionBackend:
-        """Backend for one job: ``spec`` wins, then the engine default."""
+        """Backend for one job: ``spec`` wins, then the engine default.
+
+        Args:
+            spec: backend name, live backend, or ``None`` for the default.
+            max_workers: worker cap for pool backends.
+            resilience: a :class:`repro.resilience.RetryPolicy` to
+                enforce — the returned backend is then a
+                :class:`repro.resilience.ResilientExecutor` wrapping the
+                cached pool.  ``None`` returns the raw backend.
+        """
         spec = spec if spec is not None else self._default
         if isinstance(spec, ExecutionBackend):
             return spec
@@ -103,10 +127,29 @@ class ExecutorSelector:
         if backend is None:
             backend = resolve_executor(name, max_workers)
             self._cache[key] = backend
-        return backend
+        if resilience is None:
+            return backend
+        from repro.resilience.executor import ResilientExecutor
+
+        wrapper_key = (name, max_workers, resilience)
+        wrapper = self._wrappers.get(wrapper_key)
+        if wrapper is None:
+            wrapper = ResilientExecutor(
+                backend,
+                policy=resilience,
+                cost_model=self.cost_model,
+                fault_hook=self.task_fault_hook,
+            )
+            self._wrappers[wrapper_key] = wrapper
+        else:
+            wrapper.fault_hook = self.task_fault_hook
+        return wrapper
 
     def close(self) -> None:
-        """Shut down every backend this selector created."""
+        """Shut down every backend and wrapper this selector created."""
+        for wrapper in self._wrappers.values():
+            wrapper.close()
+        self._wrappers.clear()
         for backend in self._cache.values():
             backend.close()
         self._cache.clear()

@@ -36,6 +36,23 @@ class ExecutorStats:
     #: Batches a parallel backend executed in-process instead (payloads
     #: not picklable, or the caller flagged them as in-process only).
     inproc_fallbacks: int = 0
+    #: Task attempts that ended in failure (injected or real); maintained
+    #: by :class:`repro.resilience.ResilientExecutor`.
+    task_failures: int = 0
+    #: Failed attempts that were re-executed (each charged simulated
+    #: backoff into :attr:`sim_backoff_s`).
+    retries: int = 0
+    #: Straggler speculations whose duplicate finished first.
+    speculative_wins: int = 0
+    #: Batches completed on a lower rung of the degradation ladder
+    #: (process → thread → serial) after a pool died mid-batch.
+    degraded_batches: int = 0
+    #: Simulated workers blacklisted after repeated failures.
+    workers_blacklisted: int = 0
+    #: Total *simulated* seconds of retry backoff — a dedicated account,
+    #: never folded into the paper's stage times (fault-free metrics stay
+    #: byte-identical under any fault schedule).
+    sim_backoff_s: float = 0.0
 
 
 class ExecutionBackend:

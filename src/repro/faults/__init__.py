@@ -7,6 +7,10 @@ from repro.faults.injection import (
     FaultInjector,
     FaultSpec,
     InjectedCrash,
+    InjectedTaskFault,
+    InjectedWorkerDeath,
+    TaskFault,
+    TaskFaultDirective,
 )
 from repro.faults.timeline import TaskEvent, Timeline
 
@@ -17,6 +21,10 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "InjectedCrash",
+    "InjectedTaskFault",
+    "InjectedWorkerDeath",
     "TaskEvent",
+    "TaskFault",
+    "TaskFaultDirective",
     "Timeline",
 ]

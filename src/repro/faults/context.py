@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import StageTimes
-from repro.faults.injection import CrashDirective, FaultInjector
+from repro.faults.injection import CrashDirective, FaultInjector, TaskFaultDirective
 from repro.faults.timeline import TaskEvent, Timeline
 
 
@@ -43,6 +43,10 @@ class FaultContext:
         self._store_hits: dict = {}
         #: ``(point, shard, occurrence)`` triples of crashes that fired.
         self.store_crash_log: list = []
+        #: per-task_index consult counters for executor task faults.
+        self._task_hits: dict = {}
+        #: ``(task_index, occurrence, kind)`` triples of task faults fired.
+        self.task_fault_log: list = []
 
     # ------------------------------------------------------------------ #
     # store crashes                                                      #
@@ -74,6 +78,52 @@ class FaultContext:
                 return None
             self.store_crash_log.append((point, shard, occurrence))
             return CrashDirective(byte_offset=crash.byte_offset, occurrence=occurrence)
+
+        return hook
+
+    def reset_stores(self) -> None:
+        """Restart the store crash-site occurrence counters.
+
+        A recovered store reopened for another crash/recover cycle
+        replays the same durability sites from scratch; resetting lets
+        one context — and any hooks it already issued, which read the
+        counters live — drive several cycles with occurrence ordinals
+        counted per cycle.  :attr:`store_crash_log` is preserved, so the
+        full cross-cycle crash history stays observable.
+        """
+        self._store_hits.clear()
+
+    # ------------------------------------------------------------------ #
+    # executor task faults                                                #
+    # ------------------------------------------------------------------ #
+
+    def task_hook(self):
+        """The fault hook resilient executors consult before each attempt.
+
+        Assign the returned callable to an
+        :class:`~repro.execution.ExecutorSelector`'s ``task_fault_hook``
+        (or pass it directly to a
+        :class:`~repro.resilience.ResilientExecutor`).  The executor
+        consults the hook in the *parent* process once per attempt of
+        each task index; every consult increments a deterministic
+        per-index counter, and when the counter matches a registered
+        :class:`~repro.faults.injection.TaskFault` occurrence the hook
+        answers a :class:`~repro.faults.injection.TaskFaultDirective`
+        that the executor embeds in the guarded payload.  The directive
+        fires *before* the user function runs, so a faulted attempt has
+        no partial side effects and retrying it is always safe.
+        """
+
+        def hook(task_index: int) -> "TaskFaultDirective | None":
+            occurrence = self._task_hits.get(task_index, 0)
+            self._task_hits[task_index] = occurrence + 1
+            fault = self.injector.task_fault_for(task_index, occurrence)
+            if fault is None:
+                return None
+            self.task_fault_log.append((task_index, occurrence, fault.kind))
+            return TaskFaultDirective(
+                kind=fault.kind, slow_s=fault.slow_s, occurrence=occurrence
+            )
 
         return hook
 

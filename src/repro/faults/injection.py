@@ -24,15 +24,55 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-VALID_STAGES = ("map", "reduce", "worker", "store")
+VALID_STAGES = ("map", "reduce", "worker", "store", "task")
 
 #: Named crash sites inside the MRBG-Store durability protocol.
 VALID_CRASH_POINTS = (
     "wal-append",
     "pre-index-swap",
+    "pre-dir-fsync",
     "mid-compact-write",
     "post-compact-pre-swap",
 )
+
+#: Fault kinds the ``"task"`` stage can inject into executor task attempts.
+VALID_TASK_FAULT_KINDS = ("transient", "worker-kill", "slowdown")
+
+
+class InjectedTaskFault(Exception):
+    """A task attempt was killed by an injected transient fault.
+
+    Raised inside the guarded task wrapper *before* the user function
+    runs (so no partial side effects exist), captured by
+    :class:`repro.resilience.ResilientExecutor` and converted into a
+    retry with simulated backoff.
+    """
+
+    def __init__(self, task_index: int, occurrence: int) -> None:
+        super().__init__(
+            f"injected transient fault in task {task_index} "
+            f"(occurrence {occurrence})"
+        )
+        self.task_index = task_index
+        self.occurrence = occurrence
+
+
+class InjectedWorkerDeath(Exception):
+    """An injected ``worker-kill`` directive took the executing worker down.
+
+    Inside a real process-pool child the guard calls ``os._exit`` instead
+    (producing a genuine ``BrokenProcessPool``); this exception is the
+    in-process form that escapes the guard so the resilient executor can
+    run its degradation ladder (process → thread → serial).
+    """
+
+    def __init__(self, task_index: int, occurrence: int) -> None:
+        super().__init__(
+            f"injected worker death while running task {task_index} "
+            f"(occurrence {occurrence})"
+        )
+        self.task_index = task_index
+        self.occurrence = occurrence
 
 
 class InjectedCrash(Exception):
@@ -71,6 +111,66 @@ class CrashDirective:
 
 
 @dataclass(frozen=True)
+class TaskFaultDirective:
+    """What a task fault hook answers when an injected task fault fires.
+
+    Consulted by :class:`repro.resilience.ResilientExecutor` in the
+    *parent* process before dispatching each attempt; the directive is
+    plain data so it can ride inside a picklable guarded payload.
+
+    Attributes:
+        kind: one of :data:`VALID_TASK_FAULT_KINDS` — ``"transient"``
+            raises :class:`InjectedTaskFault` before the user function
+            runs (retryable), ``"worker-kill"`` takes the executing
+            worker down (``os._exit`` in a real pool child, otherwise
+            :class:`InjectedWorkerDeath`), ``"slowdown"`` sleeps
+            ``slow_s`` host seconds before running normally (straggler).
+        slow_s: host-clock sleep for ``"slowdown"`` directives.
+        occurrence: which consult of this task index fired (echoed into
+            the resulting exception for diagnostics).
+    """
+
+    kind: str
+    slow_s: float = 0.0
+    occurrence: int = 0
+
+
+@dataclass(frozen=True)
+class TaskFault:
+    """One injected executor-level task fault.
+
+    Attributes:
+        kind: fault kind, one of :data:`VALID_TASK_FAULT_KINDS`.
+        task_index: index of the task within its submitted batch.
+        occurrence: which *consult* of this task index fires — the
+            first attempt of a task is occurrence 0, its first retry is
+            occurrence 1, and so on; earlier consults proceed normally.
+        slow_s: for ``"slowdown"`` — how long the attempt sleeps on the
+            host clock before running (long enough to trip a straggler
+            timeout).
+    """
+
+    kind: str
+    task_index: int
+    occurrence: int = 0
+    slow_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_TASK_FAULT_KINDS:
+            raise ValueError(f"kind must be one of {VALID_TASK_FAULT_KINDS}")
+        if self.task_index < 0 or self.occurrence < 0:
+            raise ValueError("task_index and occurrence must be non-negative")
+        if self.slow_s < 0:
+            raise ValueError("slow_s must be non-negative")
+
+    def directive(self) -> TaskFaultDirective:
+        """The plain-data directive handed to the guarded payload."""
+        return TaskFaultDirective(
+            kind=self.kind, slow_s=self.slow_s, occurrence=self.occurrence
+        )
+
+
+@dataclass(frozen=True)
 class CrashPoint:
     """One injected store crash: kill an operation at a named point.
 
@@ -106,16 +206,23 @@ class FaultSpec:
             ``"store"`` stage this is the crash *occurrence* ordinal
             (the Nth hit of the crash point crashes).
         stage: ``"map"``, ``"reduce"``, ``"worker"`` (a worker failure
-            kills both co-located prime tasks, §6.1 case iii), or
-            ``"store"`` (an MRBG-Store operation crash).
+            kills both co-located prime tasks, §6.1 case iii),
+            ``"store"`` (an MRBG-Store operation crash), or ``"task"``
+            (an executor-level task-attempt fault).
         task_index: prime task index (= partition index).  For the
-            ``"store"`` stage this is the shard index.
+            ``"store"`` stage this is the shard index; for the
+            ``"task"`` stage the index within the submitted batch.
         at_fraction: fraction of the task's work done when it fails
             (Fig 13 stages only).
         crash_point: ``"store"`` stage only — the named crash site, one
             of :data:`VALID_CRASH_POINTS`.
         byte_offset: ``"store"`` stage only — tear the WAL append at
             this byte offset (``wal-append`` point).
+        task_kind: ``"task"`` stage only — fault kind, one of
+            :data:`VALID_TASK_FAULT_KINDS`.  For the ``"task"`` stage
+            ``iteration`` is the *consult occurrence* (the Nth attempt
+            of the task faults).
+        slow_s: ``"task"`` stage only — host sleep for ``"slowdown"``.
     """
 
     iteration: int
@@ -124,6 +231,8 @@ class FaultSpec:
     at_fraction: float = 0.5
     crash_point: Optional[str] = None
     byte_offset: Optional[int] = None
+    task_kind: Optional[str] = None
+    slow_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.stage not in VALID_STAGES:
@@ -139,6 +248,13 @@ class FaultSpec:
                 )
         elif self.crash_point is not None or self.byte_offset is not None:
             raise ValueError("crash_point/byte_offset apply to the store stage only")
+        if self.stage == "task":
+            if self.task_kind not in VALID_TASK_FAULT_KINDS:
+                raise ValueError(
+                    f"task faults need task_kind in {VALID_TASK_FAULT_KINDS}"
+                )
+        elif self.task_kind is not None:
+            raise ValueError("task_kind applies to the task stage only")
 
     def as_crash_point(self) -> CrashPoint:
         """The :class:`CrashPoint` view of a ``"store"`` stage fault."""
@@ -151,6 +267,17 @@ class FaultSpec:
             byte_offset=self.byte_offset,
         )
 
+    def as_task_fault(self) -> TaskFault:
+        """The :class:`TaskFault` view of a ``"task"`` stage fault."""
+        if self.stage != "task":
+            raise ValueError("not a task fault")
+        return TaskFault(
+            kind=self.task_kind,
+            task_index=self.task_index,
+            occurrence=self.iteration,
+            slow_s=self.slow_s,
+        )
+
 
 class FaultInjector:
     """Deterministic lookup of injected failures per (iteration, stage)."""
@@ -158,6 +285,7 @@ class FaultInjector:
     def __init__(self, faults: Iterable[FaultSpec] = ()) -> None:
         self._by_key: Dict[Tuple[int, str], Dict[int, FaultSpec]] = {}
         self._crash_points: Dict[Tuple[str, int], Dict[int, CrashPoint]] = {}
+        self._task_faults: Dict[int, Dict[int, TaskFault]] = {}
         for fault in faults:
             self.add(fault)
 
@@ -165,6 +293,9 @@ class FaultInjector:
         """Register one failure (worker failures expand to map+reduce)."""
         if fault.stage == "store":
             self.add_crash_point(fault.as_crash_point())
+            return
+        if fault.stage == "task":
+            self.add_task_fault(fault.as_task_fault())
             return
         if fault.stage == "worker":
             for stage in ("map", "reduce"):
@@ -189,14 +320,26 @@ class FaultInjector:
         """The store crash injected at this hit of (point, shard), or None."""
         return self._crash_points.get((point, shard), {}).get(occurrence)
 
+    def add_task_fault(self, fault: TaskFault) -> None:
+        """Register one executor-level task fault."""
+        self._task_faults.setdefault(fault.task_index, {})[
+            fault.occurrence
+        ] = fault
+
+    def task_fault_for(self, task_index: int, occurrence: int):
+        """The task fault injected at this consult of ``task_index``, or None."""
+        return self._task_faults.get(task_index, {}).get(occurrence)
+
     def fault_for(self, iteration: int, stage: str, task_index: int):
         """The failure injected into this task, or None."""
         return self._by_key.get((iteration, stage), {}).get(task_index)
 
     def num_faults(self) -> int:
-        """Total registered task failures (store crashes included)."""
-        return sum(len(v) for v in self._by_key.values()) + sum(
-            len(v) for v in self._crash_points.values()
+        """Total registered failures (store crashes and task faults included)."""
+        return (
+            sum(len(v) for v in self._by_key.values())
+            + sum(len(v) for v in self._crash_points.values())
+            + sum(len(v) for v in self._task_faults.values())
         )
 
     @classmethod

@@ -55,6 +55,7 @@ from repro.iterative.partitioning import (
     partition_structure,
 )
 from repro.mrbgraph.graph import DeltaEdge, Edge
+from repro.resilience.policy import RetryPolicy
 
 #: Encoded overhead of the +/- op marker on a delta edge.
 _OP_BYTES = 2
@@ -187,16 +188,22 @@ class I2MREngine:
         self.dfs = dfs
         self.policy_factory = policy_factory
         self.store_root = store_root
-        self.executors = ExecutorSelector(executor)
+        self.executors = ExecutorSelector(executor, cost_model=cluster.cost_model)
         #: shards per preserved MRBG-Store (None = REPRO_SHARDS default).
         self.num_shards = num_shards
         #: MRBG-Store compaction policy name (None = REPRO_COMPACTION).
         self.compaction = compaction
 
     def backend_for(self, job: IterativeJob) -> ExecutionBackend:
-        """The execution backend this job's task batches run on."""
+        """The execution backend this job's task batches run on.
+
+        Wrapped in a :class:`repro.resilience.ResilientExecutor`
+        enforcing the job's retry/timeout/speculation knobs.
+        """
         return self.executors.get(
-            getattr(job, "executor", None), getattr(job, "max_workers", None)
+            getattr(job, "executor", None),
+            getattr(job, "max_workers", None),
+            resilience=RetryPolicy.for_job(job),
         )
 
     def close(self) -> None:

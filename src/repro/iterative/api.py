@@ -72,6 +72,14 @@ class IterativeJob:
             :mod:`repro.execution`.  Never changes results or simulated
             times, only host wall-clock.
         max_workers: worker cap for pool backends.
+        task_retries: failed task attempts transparently re-executed
+            before the failure propagates (``None`` = the
+            ``REPRO_TASK_RETRIES`` default).
+        task_timeout_s: host-clock straggler threshold per attempt
+            (``None`` = the ``REPRO_TASK_TIMEOUT`` default).
+        speculation: whether stragglers are speculatively duplicated
+            with first-result-wins semantics (``None`` = the
+            ``REPRO_SPECULATION`` default).
     """
 
     algorithm: Any
@@ -81,6 +89,9 @@ class IterativeJob:
     epsilon: Optional[float] = None
     executor: ExecutorSpec = None
     max_workers: Optional[int] = None
+    task_retries: Optional[int] = None
+    task_timeout_s: Optional[float] = None
+    speculation: Optional[bool] = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidJobConf` on an unusable configuration."""
@@ -101,6 +112,10 @@ class IterativeJob:
                 )
         if self.max_workers is not None and self.max_workers <= 0:
             raise InvalidJobConf("max_workers must be positive")
+        if self.task_retries is not None and self.task_retries < 0:
+            raise InvalidJobConf("task_retries must be non-negative")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise InvalidJobConf("task_timeout_s must be positive")
 
 
 @dataclass

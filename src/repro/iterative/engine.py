@@ -40,6 +40,7 @@ from repro.iterative.partitioning import (
     partition_structure,
     state_bytes_by_partition,
 )
+from repro.resilience.policy import RetryPolicy
 
 #: Encoded overhead of shipping the globally unique MK with each
 #: intermediate kv-pair (one tagged 64-bit int), charged only when the
@@ -408,11 +409,17 @@ class IterMREngine:
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs
-        self.executors = ExecutorSelector(executor)
+        self.executors = ExecutorSelector(executor, cost_model=cluster.cost_model)
 
     def backend_for(self, job: IterativeJob) -> ExecutionBackend:
-        """The execution backend this job's prime task batches run on."""
-        return self.executors.get(job.executor, job.max_workers)
+        """The execution backend this job's prime task batches run on.
+
+        Wrapped in a :class:`repro.resilience.ResilientExecutor`
+        enforcing the job's retry/timeout/speculation knobs.
+        """
+        return self.executors.get(
+            job.executor, job.max_workers, resilience=RetryPolicy.for_job(job)
+        )
 
     def close(self) -> None:
         """Shut down any host worker pools the engine created."""

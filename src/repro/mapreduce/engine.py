@@ -37,6 +37,7 @@ from repro.dfs.filesystem import Block, DistributedFS
 from repro.execution import ExecutorSelector, ExecutorSpec
 from repro.mapreduce.api import Context, Mapper, Partitioner, Reducer
 from repro.mapreduce.job import JobConf, JobResult, MapperFactory, ReducerFactory
+from repro.resilience.policy import RetryPolicy
 
 #: A source of map input: records plus their physical placement metadata.
 @dataclass
@@ -272,11 +273,21 @@ class MapReduceEngine:
     ) -> None:
         self.cluster = cluster
         self.dfs = dfs
-        self.executors = ExecutorSelector(executor)
+        self.executors = ExecutorSelector(executor, cost_model=cluster.cost_model)
 
     def backend_for(self, jobconf: JobConf):
-        """The execution backend this job's task batches run on."""
-        return self.executors.get(jobconf.executor, jobconf.max_workers)
+        """The execution backend this job's task batches run on.
+
+        The returned backend is a
+        :class:`repro.resilience.ResilientExecutor` enforcing the job's
+        retry/timeout/speculation knobs (environment defaults when the
+        job does not set them).
+        """
+        return self.executors.get(
+            jobconf.executor,
+            jobconf.max_workers,
+            resilience=RetryPolicy.for_job(jobconf),
+        )
 
     def close(self) -> None:
         """Shut down any host worker pools the engine created."""

@@ -41,6 +41,15 @@ class JobConf:
             ``REPRO_COMPACTION`` default.  Only the incremental engines
             consult it; a policy never changes on-disk formats, only
             *when* idle-time compaction rewrites a store.
+        task_retries: failed task attempts transparently re-executed
+            before the failure propagates (``None`` = the
+            ``REPRO_TASK_RETRIES`` default).  Retries charge simulated
+            backoff to a dedicated account and never change outputs.
+        task_timeout_s: host-clock straggler threshold per attempt
+            (``None`` = the ``REPRO_TASK_TIMEOUT`` default).
+        speculation: whether stragglers are speculatively duplicated
+            with first-result-wins semantics (``None`` = the
+            ``REPRO_SPECULATION`` default).
     """
 
     name: str
@@ -54,6 +63,9 @@ class JobConf:
     executor: ExecutorSpec = None
     max_workers: Optional[int] = None
     compaction: Optional[str] = None
+    task_retries: Optional[int] = None
+    task_timeout_s: Optional[float] = None
+    speculation: Optional[bool] = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidJobConf` on an unusable configuration."""
@@ -83,6 +95,10 @@ class JobConf:
                     f"unknown compaction policy {self.compaction!r}; "
                     f"expected one of {sorted(POLICIES)}"
                 )
+        if self.task_retries is not None and self.task_retries < 0:
+            raise InvalidJobConf("task_retries must be non-negative")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise InvalidJobConf("task_timeout_s must be positive")
 
 
 @dataclass

@@ -53,6 +53,7 @@ from repro.mrbgraph.wal import (
     WriteAheadLog,
     atomic_write,
     encode_wal_record,
+    fsync_directory,
     recover_from_records,
 )
 from repro.mrbgraph.windows import (
@@ -464,14 +465,25 @@ class MRBGStore:
         self._wal_flush()
         raw = encode_index(self._index, self._num_batches)
         pre_replace = None
+        pre_dir_sync = None
         if self.fault_hook is not None:
             def pre_replace() -> None:
                 directive = self.fault_hook("pre-index-swap", self.shard_id, len(raw))
                 if directive is not None:
                     self._crash("pre-index-swap", directive)
 
+            def pre_dir_sync() -> None:
+                # The rename happened but its directory entry is not yet
+                # durable — the window the directory fsync closes.
+                directive = self.fault_hook("pre-dir-fsync", self.shard_id, len(raw))
+                if directive is not None:
+                    self._crash("pre-dir-fsync", directive)
+
         atomic_write(
-            os.path.join(self.directory, _INDEX_FILE), raw, pre_replace=pre_replace
+            os.path.join(self.directory, _INDEX_FILE),
+            raw,
+            pre_replace=pre_replace,
+            pre_dir_sync=pre_dir_sync,
         )
         self.metrics.io_writes += 1
         self.metrics.bytes_written += len(raw)
@@ -864,6 +876,7 @@ class MRBGStore:
                 if directive is not None:
                     self._crash("post-compact-pre-swap", directive)
             os.replace(self._data_path + ".compact", self._data_path)
+            fsync_directory(os.path.dirname(os.path.abspath(self._data_path)))
 
         self._fh.close()
         self._fh = open(self._data_path, "r+b")

@@ -56,7 +56,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
-from repro.common.errors import SerializationError
+from repro.common.errors import SerializationError, WALCorruptError
 from repro.common.serialization import as_view, decode, encode
 
 #: On-disk WAL file name inside a store directory.
@@ -95,14 +95,29 @@ def encode_wal_record(op: int, *fields: Any) -> bytes:
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def decode_wal_record(buf: Any, offset: int = 0) -> Tuple[Tuple[Any, ...], int]:
+def decode_wal_record(
+    buf: Any, offset: int = 0, path: str = ""
+) -> Tuple[Tuple[Any, ...], int]:
     """Decode one framed record at ``offset``; returns ``(record, next)``.
 
+    Distinguishes the two ways a record can be unreadable:
+
+    - **torn tail** — the header is incomplete, or the declared length
+      runs past the buffer.  A crash kills a sequential append exactly
+      like this, so replay tolerates it (raises
+      :class:`~repro.common.errors.SerializationError`; recovery
+      truncates and rolls back).
+    - **mid-log corruption** — the record is fully contained but its
+      checksum mismatches, or its payload does not decode to an opcode
+      tuple.  No crash produces this (a kill can only shorten the file),
+      so it fails loudly with
+      :class:`~repro.common.errors.WALCorruptError` rather than silently
+      dropping a suffix of committed history.
+
     Raises:
-        SerializationError: when the header is torn, the length runs past
-            the buffer, the checksum mismatches, or the payload does not
-            decode to an opcode tuple — replay treats any of these as the
-            torn tail of a crashed append.
+        SerializationError: torn tail of a crashed append (tolerated).
+        WALCorruptError: a fully contained record is damaged (bit rot,
+            external edit) — never silently dropped.
     """
     mv = as_view(buf)
     if offset + _HEADER.size > len(mv):
@@ -114,10 +129,13 @@ def decode_wal_record(buf: Any, offset: int = 0) -> Tuple[Tuple[Any, ...], int]:
         raise SerializationError("WAL record length runs past the file")
     payload = mv[start:end]
     if zlib.crc32(payload) != crc:
-        raise SerializationError("WAL record checksum mismatch")
-    value, pos = decode(mv, start)
+        raise WALCorruptError(path, offset, "checksum mismatch")
+    try:
+        value, pos = decode(mv, start)
+    except SerializationError as exc:
+        raise WALCorruptError(path, offset, f"undecodable payload: {exc}") from exc
     if pos != end or not isinstance(value, tuple) or not value:
-        raise SerializationError("WAL payload is not an opcode tuple")
+        raise WALCorruptError(path, offset, "payload is not an opcode tuple")
     return value, end
 
 
@@ -224,6 +242,7 @@ class WriteAheadLog:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        fsync_directory(os.path.dirname(os.path.abspath(self.path)))
         return len(raw)
 
     def close(self) -> None:
@@ -250,14 +269,20 @@ class WriteAheadLog:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def replay_bytes(raw: bytes) -> WALReplay:
-        """Parse a WAL image, stopping at the first torn/corrupt record."""
+    def replay_bytes(raw: bytes, path: str = "") -> WALReplay:
+        """Parse a WAL image, stopping at the first *torn* record.
+
+        A torn tail (the crash model) ends replay and marks the result
+        ``truncated``; mid-log corruption of a fully contained record is
+        a different failure entirely and propagates as
+        :class:`~repro.common.errors.WALCorruptError`.
+        """
         records: List[Tuple[Any, ...]] = []
         offset = 0
         truncated = False
         while offset < len(raw):
             try:
-                record, offset = decode_wal_record(raw, offset)
+                record, offset = decode_wal_record(raw, offset, path=path)
             except SerializationError:
                 truncated = True
                 break
@@ -271,12 +296,17 @@ class WriteAheadLog:
 
     @classmethod
     def replay_file(cls, path: str) -> Optional[WALReplay]:
-        """Replay ``path`` if it exists; None when there is no log."""
+        """Replay ``path`` if it exists; None when there is no log.
+
+        Raises:
+            WALCorruptError: the log contains mid-log corruption (see
+                :func:`decode_wal_record`) — recovery must not proceed.
+        """
         if not os.path.exists(path):
             return None
         with open(path, "rb") as fh:
             raw = fh.read()
-        return cls.replay_bytes(raw)
+        return cls.replay_bytes(raw, path=path)
 
 
 @dataclass
@@ -393,15 +423,41 @@ def recover_from_records(
     )
 
 
-def atomic_write(path: str, raw: bytes, pre_replace=None) -> None:
-    """Write ``raw`` to ``path`` atomically: temp file, fsync, rename.
+def fsync_directory(directory: str) -> None:
+    """Flush a directory entry to disk so a completed rename survives.
+
+    ``os.replace`` makes the swap atomic for *readers*, but the new
+    directory entry itself lives in the directory inode — until that is
+    fsynced, a host crash (power loss, kernel panic) can roll the rename
+    back.  POSIX only; a silent no-op on platforms without
+    ``os.O_DIRECTORY`` (directories cannot be opened for fsync there).
+    """
+    if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - non-POSIX
+        return
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY | os.O_DIRECTORY)
+    except OSError:  # pragma: no cover - directory vanished/forbidden
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str, raw: bytes, pre_replace=None, pre_dir_sync=None) -> None:
+    """Write ``raw`` to ``path`` atomically: temp file, fsync, rename,
+    directory fsync.
 
     The write-temp + fsync + ``os.replace`` sequence guarantees readers
     see either the old bytes or the new bytes, never a torn mix — the
-    swap discipline for ``mrbg.idx`` and ``mrbg.shards``.  When
-    ``pre_replace`` is given it runs *between* the fsync and the rename
-    (the ``pre-index-swap`` crash site: raising there leaves the old
-    file intact beside a complete temp file).
+    swap discipline for ``mrbg.idx`` and ``mrbg.shards`` — and the final
+    :func:`fsync_directory` makes the rename itself durable against a
+    host crash, not just a process kill.  When ``pre_replace`` is given
+    it runs *between* the fsync and the rename (the ``pre-index-swap``
+    crash site: raising there leaves the old file intact beside a
+    complete temp file); ``pre_dir_sync`` runs between the rename and
+    the directory fsync (the ``pre-dir-fsync`` crash site: the swap
+    happened but is not yet durable).
     """
     tmp = path + ".tmp"
     with open(tmp, "wb") as fh:
@@ -411,3 +467,6 @@ def atomic_write(path: str, raw: bytes, pre_replace=None) -> None:
     if pre_replace is not None:
         pre_replace()
     os.replace(tmp, path)
+    if pre_dir_sync is not None:
+        pre_dir_sync()
+    fsync_directory(os.path.dirname(os.path.abspath(path)))

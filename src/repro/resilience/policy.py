@@ -1,0 +1,95 @@
+"""Retry/timeout/speculation policy carried from job configuration.
+
+A :class:`RetryPolicy` is the frozen bundle of fault-tolerance knobs a
+:class:`repro.resilience.ResilientExecutor` enforces for one job.  It is
+hashable so executor selectors can cache one wrapper per ``(backend,
+policy)`` combination, and it defaults to the library-wide environment
+knobs (``REPRO_TASK_RETRIES`` / ``REPRO_TASK_TIMEOUT`` /
+``REPRO_SPECULATION`` / ``REPRO_BLACKLIST_AFTER``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.common import config
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance contract for one job's task batches.
+
+    Attributes:
+        max_retries: failed attempts re-executed per task before the
+            failure propagates as
+            :class:`repro.common.errors.RetriesExhausted`.
+        timeout_s: host-clock seconds after which a *completed* attempt
+            counts as a straggler (``None`` disables detection).
+        speculation: whether stragglers get a speculative duplicate with
+            first-result-wins semantics (pure payloads make the winner's
+            value identical either way).
+        blacklist_after: consecutive failures on one simulated worker
+            before it is blacklisted and its tasks re-route.
+        num_sim_workers: size of the simulated worker pool used for
+            blacklisting bookkeeping (defaults to the paper's cluster
+            width via :data:`repro.common.config.DEFAULT_NUM_WORKERS`).
+    """
+
+    max_retries: int = config.DEFAULT_TASK_RETRIES
+    timeout_s: Optional[float] = config.DEFAULT_TASK_TIMEOUT_S
+    speculation: bool = config.DEFAULT_SPECULATION
+    blacklist_after: int = config.DEFAULT_BLACKLIST_AFTER
+    num_sim_workers: int = config.DEFAULT_NUM_WORKERS
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.blacklist_after < 1:
+            raise ValueError("blacklist_after must be at least 1")
+        if self.num_sim_workers < 1:
+            raise ValueError("num_sim_workers must be at least 1")
+
+    @property
+    def active(self) -> bool:
+        """Whether this policy asks for any fault-tolerance machinery."""
+        return (
+            self.max_retries > 0
+            or self.timeout_s is not None
+            or self.speculation
+        )
+
+    @classmethod
+    def for_job(cls, conf: Any) -> "RetryPolicy":
+        """Policy for a job configuration (``JobConf`` / ``IterativeJob``).
+
+        Reads the configuration's ``task_retries`` / ``task_timeout_s``
+        / ``speculation`` attributes, falling back to the environment
+        defaults for anything the configuration does not carry.
+        """
+        retries = getattr(conf, "task_retries", None)
+        timeout = getattr(conf, "task_timeout_s", None)
+        speculation = getattr(conf, "speculation", None)
+        return cls(
+            max_retries=(
+                config.DEFAULT_TASK_RETRIES if retries is None else retries
+            ),
+            timeout_s=(
+                config.DEFAULT_TASK_TIMEOUT_S if timeout is None else timeout
+            ),
+            speculation=(
+                config.DEFAULT_SPECULATION if speculation is None else speculation
+            ),
+        )
+
+    @classmethod
+    def from_config(cls) -> "RetryPolicy":
+        """Policy built purely from the environment defaults."""
+        return cls()
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        """Policy that turns every fault-tolerance feature off."""
+        return cls(max_retries=0, timeout_s=None, speculation=False)

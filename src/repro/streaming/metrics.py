@@ -31,7 +31,8 @@ class StreamBatchMetrics:
     start_s: float
     #: simulated engine time spent processing the batch.
     processing_s: float
-    #: completion time (``start_s + processing_s``).
+    #: completion time (``start_s + processing_s``, plus any simulated
+    #: retry backoff the batch accumulated).
     done_s: float
     #: records already arrived but still unprocessed at completion time —
     #: the queue the *next* batches must drain.
@@ -48,6 +49,21 @@ class StreamBatchMetrics:
     #: mode); with sharded stores the count shows how widely the batch's
     #: delta spread — shards not touched were free to serve other work.
     shards_touched: int = 0
+    #: consumer re-executions this batch needed before succeeding (0 on
+    #: a clean first attempt).
+    retries: int = 0
+    #: consumer failures observed while processing this batch (equals
+    #: ``retries`` when the batch eventually succeeded; ``retries + 1``
+    #: when it was dead-lettered).
+    failures: int = 0
+    #: the batch exhausted its retry budget and was skipped; its error
+    #: is preserved in :attr:`ContinuousPipeline.dead_letters
+    #: <repro.streaming.pipeline.ContinuousPipeline.dead_letters>`.
+    dead_lettered: bool = False
+    #: simulated seconds spent backing off between retry attempts —
+    #: charged to the batch's completion time, never to
+    #: ``processing_s``, so fault-free metrics are unchanged.
+    retry_backoff_s: float = 0.0
 
     @property
     def wait_s(self) -> float:
@@ -80,6 +96,26 @@ class StreamRunResult:
     def num_fallbacks(self) -> int:
         """Batches run with MRBGraph maintenance off (P∆ auto-off)."""
         return sum(1 for b in self.batches if b.fell_back)
+
+    @property
+    def num_retries(self) -> int:
+        """Total consumer re-executions across all batches."""
+        return sum(b.retries for b in self.batches)
+
+    @property
+    def num_failures(self) -> int:
+        """Total consumer failures observed across all batches."""
+        return sum(b.failures for b in self.batches)
+
+    @property
+    def num_dead_lettered(self) -> int:
+        """Batches that exhausted their retry budget and were skipped."""
+        return sum(1 for b in self.batches if b.dead_lettered)
+
+    @property
+    def total_retry_backoff_s(self) -> float:
+        """Total simulated backoff seconds spent between retry attempts."""
+        return sum(b.retry_backoff_s for b in self.batches)
 
     @property
     def max_backlog(self) -> int:

@@ -26,6 +26,13 @@ backend; the number of shards a batch actually touched is recorded in
 position and the consumer state all persist, so a caller can interleave
 pipeline pulls with out-of-band work (e.g. writing more DFS delta files
 for a tailing source to pick up).
+
+With ``batch_retries > 0`` the pipeline is *resilient*: a consumer
+failure is retried (after a simulated exponential backoff charged to
+the batch's completion time, never its ``processing_s``) and a batch
+that fails every attempt is dead-lettered — recorded in
+``pipeline.dead_letters`` with its final error — instead of killing the
+stream.  Fault-free runs produce byte-identical metrics either way.
 """
 
 from __future__ import annotations
@@ -33,9 +40,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterator, List, Optional, Tuple
 
+from repro.cluster.costmodel import CostModel
+from repro.common.errors import DeadLetteredBatch
+from repro.common.hashing import stable_hash
 from repro.common.sizeof import record_size
 from repro.streaming.batching import BatchFeedback, BatchPolicy
-from repro.streaming.consumers import StreamConsumer
+from repro.streaming.consumers import BatchOutcome, StreamConsumer
 from repro.streaming.metrics import StreamBatchMetrics, StreamRunResult
 from repro.streaming.sources import ArrivedRecord, DeltaSource
 
@@ -57,10 +67,24 @@ class ContinuousPipeline:
         source: DeltaSource,
         policy: BatchPolicy,
         consumer: StreamConsumer,
+        batch_retries: int = 0,
+        cost_model: Optional[CostModel] = None,
     ) -> None:
+        if batch_retries < 0:
+            raise ValueError("batch_retries must be >= 0")
         self.source = source
         self.policy = policy
         self.consumer = consumer
+        #: consumer re-executions each batch may consume before being
+        #: dead-lettered.  0 (the default) preserves the historical
+        #: fail-fast behaviour: the first consumer error propagates.
+        self.batch_retries = batch_retries
+        #: charges the simulated backoff between retry attempts.
+        self.cost_model = cost_model or CostModel()
+        #: poison batches that exhausted their retry budget — one
+        #: :class:`repro.common.errors.DeadLetteredBatch` per skipped
+        #: batch, carrying the batch index, attempts and final error.
+        self.dead_letters: List[DeadLetteredBatch] = []
         self.result = StreamRunResult()
         policy.reset()
         self._events: Optional[Iterator[ArrivedRecord]] = None
@@ -133,6 +157,42 @@ class ContinuousPipeline:
             batch.append(self._pop())
             num_bytes += nxt_bytes
 
+    def _process_with_retries(
+        self, index: int, records: List
+    ) -> Tuple[BatchOutcome, int, bool, float]:
+        """Run one batch through the consumer's retry budget.
+
+        Returns ``(outcome, failures, dead_lettered, backoff_s)``.  A
+        batch that fails its first attempt is retried up to
+        ``batch_retries`` times, each retry preceded by the cost model's
+        simulated exponential backoff (deterministic per (batch,
+        attempt), so a replayed stream backs off identically).  A batch
+        that fails every attempt is *dead-lettered*: its final error is
+        wrapped in :class:`~repro.common.errors.DeadLetteredBatch`,
+        appended to :attr:`dead_letters`, and the pipeline moves on —
+        one poison batch must not stall the stream behind it.
+
+        With ``batch_retries == 0`` the first error propagates to the
+        caller unchanged (the historical fail-fast contract).
+        """
+        backoff_s = 0.0
+        failures = 0
+        while True:
+            try:
+                return self.consumer.process_batch(records), failures, False, backoff_s
+            except Exception as exc:
+                if self.batch_retries == 0:
+                    raise
+                failures += 1
+                if failures > self.batch_retries:
+                    self.dead_letters.append(
+                        DeadLetteredBatch(index, failures, repr(exc))
+                    )
+                    return BatchOutcome(processing_s=0.0), failures, True, backoff_s
+                backoff_s += self.cost_model.task_retry_backoff_time(
+                    failures - 1, stable_hash((index, failures))
+                )
+
     def run(self, max_batches: Optional[int] = None) -> StreamRunResult:
         """Process batches until the source drains (or a batch budget).
 
@@ -148,12 +208,15 @@ class ContinuousPipeline:
             first_arrival_s = batch[0].arrival_s
             ready_s = batch[-1].arrival_s
             start_s = max(ready_s, self.engine_free_s)
-            outcome = self.consumer.process_batch(records)
-            done_s = start_s + outcome.processing_s
+            index = self.result.num_batches
+            outcome, failures, dead, backoff_s = self._process_with_retries(
+                index, records
+            )
+            done_s = start_s + backoff_s + outcome.processing_s
             self.engine_free_s = done_s
             self._absorb_arrivals(done_s)
             metrics = StreamBatchMetrics(
-                index=self.result.num_batches,
+                index=index,
                 num_records=len(records),
                 num_bytes=num_bytes,
                 first_arrival_s=first_arrival_s,
@@ -165,6 +228,10 @@ class ContinuousPipeline:
                 fell_back=outcome.fell_back,
                 iterations=outcome.iterations,
                 shards_touched=outcome.shards_touched,
+                retries=failures - 1 if dead else failures,
+                failures=failures,
+                dead_lettered=dead,
+                retry_backoff_s=backoff_s,
             )
             self.result.batches.append(metrics)
             self.policy.observe(

@@ -50,9 +50,30 @@ def test_readme_documents_env_knobs():
         "REPRO_SHARDS",
         "REPRO_WAL",
         "REPRO_COMPACTION",
+        "REPRO_TASK_RETRIES",
+        "REPRO_TASK_TIMEOUT",
+        "REPRO_SPECULATION",
+        "REPRO_BLACKLIST_AFTER",
+        "REPRO_CHAOS_SEED",
+        "REPRO_CHAOS_RATE",
         "REPRO_BENCH_SCALE",
     ):
         assert knob in readme, f"{knob} missing from README.md"
+
+
+def test_architecture_covers_fault_tolerance():
+    """The resilience subsystem has its architecture section."""
+    arch = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "## Fault tolerance & recovery" in arch
+    for term in (
+        "ResilientExecutor",
+        "RetryPolicy",
+        "sim_backoff_s",
+        "degradation ladder",
+        "dead-letter",
+        "REPRO_CHAOS_SEED",
+    ):
+        assert term in arch
 
 
 def test_architecture_covers_streaming():

@@ -26,7 +26,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.config import DEFAULT_NUM_SHARDS
-from repro.common.errors import InvalidJobConf
+from repro.common.errors import InvalidJobConf, WALCorruptError
 from repro.common.kvpair import Op, delete, insert
 from repro.common.serialization import encode_many
 from repro.faults import (
@@ -56,6 +56,7 @@ from repro.mrbgraph.wal import (
     atomic_write,
     decode_wal_record,
     encode_wal_record,
+    fsync_directory,
 )
 
 from tests.conftest import fresh_cluster
@@ -193,6 +194,7 @@ def scenario_compact(store):
 CRASH_SCENARIOS = {
     "wal-append": (scenario_merge, "pre", "pre"),
     "pre-index-swap": (scenario_merge, "post", "post"),
+    "pre-dir-fsync": (scenario_merge, "post", "post"),
     "mid-compact-write": (scenario_compact, "pre", "pre"),
     "post-compact-pre-swap": (scenario_compact, "post", "pre"),
 }
@@ -203,6 +205,7 @@ CRASH_SCENARIOS = {
 CRASH_OCCURRENCE = {
     "wal-append": 1,
     "pre-index-swap": 0,
+    "pre-dir-fsync": 0,
     "mid-compact-write": 0,
     "post-compact-pre-swap": 0,
 }
@@ -577,13 +580,31 @@ class TestGoldenFormats:
         assert len(replay.records) == len(golden["records"]) - 1
         assert replay.valid_bytes < replay.total_bytes
 
-    def test_corrupt_byte_stops_replay(self, golden):
+    def test_corrupt_byte_fails_loudly(self, golden):
+        # Mid-log corruption of a fully contained record is NOT a torn
+        # tail: silently dropping the suffix could resurrect stale
+        # preserved state, so replay raises the typed error instead.
         raw = bytearray(bytes.fromhex(golden["stream"]))
         first_len = len(bytes.fromhex(golden["records"][0]["hex"]))
         raw[first_len + 10] ^= 0xFF  # flip a byte inside record #2
-        replay = WriteAheadLog.replay_bytes(bytes(raw))
-        assert replay.truncated
-        assert len(replay.records) == 1  # only the intact first record
+        with pytest.raises(WALCorruptError) as excinfo:
+            WriteAheadLog.replay_bytes(bytes(raw))
+        assert excinfo.value.offset == first_len
+        assert "checksum" in excinfo.value.reason
+
+    def test_torn_vs_corrupt_are_distinguishable(self, golden):
+        raw = bytes.fromhex(golden["stream"])
+        # Every prefix cut (what a crash can produce) is tolerated...
+        for cut in (1, 5, len(raw) - 3):
+            replay = WriteAheadLog.replay_bytes(raw[:-cut])
+            assert replay.truncated
+        # ...while a contained-record corruption in the same stream is not
+        # (byte 9 sits inside the first record's payload, past its 8-byte
+        # length+crc header, so the record stays fully contained).
+        flipped = bytearray(raw)
+        flipped[9] ^= 0x01
+        with pytest.raises(WALCorruptError):
+            WriteAheadLog.replay_bytes(bytes(flipped))
 
     def test_manifest_layout_matches_golden(self, golden, tmp_path):
         spec = golden["manifest"]
@@ -619,6 +640,24 @@ class TestAtomicWrite:
         # wreckage recovery then sweeps up.
         assert target.read_bytes() == b"old"
         assert open(str(target) + ".tmp", "rb").read() == b"new"
+
+    def test_crash_before_dir_fsync_keeps_new_bytes(self, tmp_path):
+        # The rename already happened when pre-dir-fsync fires: readers
+        # see the new bytes and no temp file is left behind.
+        target = tmp_path / "f.bin"
+        atomic_write(str(target), b"old")
+
+        def boom():
+            raise InjectedCrash("pre-dir-fsync", 0, 0)
+
+        with pytest.raises(InjectedCrash):
+            atomic_write(str(target), b"new", pre_dir_sync=boom)
+        assert target.read_bytes() == b"new"
+        assert not os.path.exists(str(target) + ".tmp")
+
+    def test_directory_fsync_tolerates_missing_directory(self, tmp_path):
+        fsync_directory(str(tmp_path))  # plain success
+        fsync_directory(str(tmp_path / "vanished"))  # silently tolerated
 
 
 # --------------------------------------------------------------------- #

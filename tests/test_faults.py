@@ -163,3 +163,108 @@ class TestEngineIntegration:
         _, context = self._run(injector)
         # 8 map + 8 reduce tasks per iteration, 4 iterations.
         assert len(context.timeline.events) == 8 * 2 * 4
+
+
+class TestStoreHookEdgeCases:
+    """Edge cases of the durability crash hook (`FaultContext.store_hook`)."""
+
+    def _context(self, *crashes):
+        from repro.faults.injection import CrashPoint
+
+        injector = FaultInjector()
+        for crash in crashes:
+            injector.add_crash_point(CrashPoint(**crash))
+        return FaultContext(injector)
+
+    def test_nbytes_none_still_tears(self):
+        # nbytes is advisory (the store reports what it was writing);
+        # a tearing directive must fire whether or not it is known.
+        ctx = self._context(dict(point="wal-append", occurrence=0, byte_offset=7))
+        hook = ctx.store_hook()
+        directive = hook("wal-append", 0, None)
+        assert directive is not None
+        assert directive.byte_offset == 7
+        assert ctx.store_crash_log == [("wal-append", 0, 0)]
+
+    def test_multiple_directives_on_same_point(self):
+        ctx = self._context(
+            dict(point="wal-append", occurrence=0),
+            dict(point="wal-append", occurrence=2, byte_offset=3),
+        )
+        hook = ctx.store_hook()
+        first = hook("wal-append", 0, 64)
+        second = hook("wal-append", 0, 64)
+        third = hook("wal-append", 0, 64)
+        assert first is not None and first.byte_offset is None
+        assert second is None
+        assert third is not None and third.byte_offset == 3
+        assert ctx.store_crash_log == [
+            ("wal-append", 0, 0),
+            ("wal-append", 0, 2),
+        ]
+
+    def test_shards_count_independently(self):
+        ctx = self._context(dict(point="pre-index-swap", shard=1, occurrence=0))
+        hook = ctx.store_hook()
+        assert hook("pre-index-swap", 0, 10) is None
+        assert hook("pre-index-swap", 1, 10) is not None
+
+    def test_hook_reuse_across_reset_stores(self):
+        ctx = self._context(dict(point="wal-append", occurrence=0))
+        hook = ctx.store_hook()
+        assert hook("wal-append", 0, 16) is not None
+        assert hook("wal-append", 0, 16) is None
+        # A new crash/recover cycle: counters restart, the same hook
+        # object fires again, and the log keeps the full history.
+        ctx.reset_stores()
+        assert hook("wal-append", 0, 16) is not None
+        assert ctx.store_crash_log == [("wal-append", 0, 0), ("wal-append", 0, 0)]
+
+
+class TestTaskHook:
+    """The executor-side fault hook (`FaultContext.task_hook`)."""
+
+    def _context(self, *faults):
+        from repro.faults.injection import TaskFault
+
+        injector = FaultInjector()
+        for fault in faults:
+            injector.add_task_fault(TaskFault(**fault))
+        return FaultContext(injector)
+
+    def test_occurrence_counting_and_log(self):
+        ctx = self._context(
+            dict(kind="transient", task_index=1, occurrence=1),
+            dict(kind="slowdown", task_index=2, occurrence=0, slow_s=0.5),
+        )
+        hook = ctx.task_hook()
+        assert hook(1) is None                       # occurrence 0: clean
+        retry = hook(1)                              # occurrence 1: faults
+        assert retry is not None and retry.kind == "transient"
+        slow = hook(2)
+        assert slow is not None and slow.slow_s == 0.5
+        assert hook(0) is None
+        assert ctx.task_fault_log == [(1, 1, "transient"), (2, 0, "slowdown")]
+
+    def test_task_and_store_channels_are_independent(self):
+        from repro.faults.injection import CrashPoint, TaskFault
+
+        injector = FaultInjector()
+        injector.add_crash_point(CrashPoint(point="wal-append", occurrence=0))
+        injector.add_task_fault(TaskFault("transient", task_index=0, occurrence=0))
+        ctx = FaultContext(injector)
+        assert ctx.task_hook()(0) is not None
+        assert ctx.store_hook()("wal-append", 0, 8) is not None
+        assert injector.num_faults() == 2
+
+    def test_invalid_task_fault_specs_rejected(self):
+        from repro.faults.injection import TaskFault
+
+        with pytest.raises(ValueError, match="kind"):
+            TaskFault("melt", task_index=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            TaskFault("transient", task_index=-1)
+        with pytest.raises(ValueError, match="task_kind"):
+            FaultSpec(0, "task", 0)
+        with pytest.raises(ValueError, match="task stage only"):
+            FaultSpec(0, "map", 0, task_kind="transient")

@@ -496,3 +496,113 @@ class TestMiscAPI:
 
         assert repro.ContinuousPipeline is ContinuousPipeline
         assert repro.DFSTailSource is DFSTailSource
+
+
+# --------------------------------------------------------------------- #
+# resilience: retry-then-dead-letter                                    #
+# --------------------------------------------------------------------- #
+
+
+class _FlakyConsumer(StreamConsumer):
+    """Fixed-cost consumer that fails scripted batches.
+
+    ``fail_plan`` maps a batch ordinal (0-based, counting each distinct
+    batch once) to how many attempts should fail before one succeeds;
+    ``None`` means every attempt fails (a poison batch).
+    """
+
+    def __init__(self, processing_s: float, fail_plan: dict):
+        self.processing_s = processing_s
+        self.fail_plan = dict(fail_plan)
+        self.batches = []
+        self.attempts: dict = {}
+        self._ordinal = -1
+        self._last_key = None
+
+    def process_batch(self, records):
+        key = tuple(r.key for r in records)
+        if key != self._last_key:
+            self._last_key = key
+            self._ordinal += 1
+        ordinal = self._ordinal
+        self.attempts[ordinal] = self.attempts.get(ordinal, 0) + 1
+        budget = self.fail_plan.get(ordinal, 0)
+        if budget is None or self.attempts[ordinal] <= budget:
+            raise StreamError(f"batch {ordinal} attempt {self.attempts[ordinal]}")
+        self.batches.append(list(records))
+        return BatchOutcome(processing_s=self.processing_s)
+
+    def state(self):
+        return {}
+
+
+class TestPipelineResilience:
+    def _run(self, fail_plan, batch_retries, num_records=6):
+        records = [insert(i, i) for i in range(num_records)]
+        consumer = _FlakyConsumer(1.0, fail_plan)
+        pipe = ContinuousPipeline(
+            ReplaySource(records, rate=100.0),
+            CountBatcher(2),
+            consumer,
+            batch_retries=batch_retries,
+        )
+        return pipe, pipe.run(), consumer
+
+    def test_transient_consumer_failure_is_retried(self):
+        pipe, result, consumer = self._run({1: 2}, batch_retries=3)
+        assert [len(b) for b in consumer.batches] == [2, 2, 2]
+        flaky = result.batches[1]
+        assert flaky.retries == 2
+        assert flaky.failures == 2
+        assert not flaky.dead_lettered
+        assert flaky.retry_backoff_s > 0.0
+        assert flaky.done_s == flaky.start_s + flaky.retry_backoff_s + 1.0
+        clean = result.batches[0]
+        assert clean.retries == 0 and clean.retry_backoff_s == 0.0
+        assert result.num_retries == 2
+        assert result.num_failures == 2
+        assert result.num_dead_lettered == 0
+        assert pipe.dead_letters == []
+
+    def test_poison_batch_is_dead_lettered_and_stream_survives(self):
+        pipe, result, consumer = self._run({1: None}, batch_retries=2)
+        # The poison batch was skipped; batches 0 and 2 still processed.
+        assert [len(b) for b in consumer.batches] == [2, 2]
+        poison = result.batches[1]
+        assert poison.dead_lettered
+        assert poison.processing_s == 0.0
+        assert poison.failures == 3      # 1 first attempt + 2 retries
+        assert poison.retries == 2
+        assert poison.retry_backoff_s > 0.0
+        assert len(pipe.dead_letters) == 1
+        letter = pipe.dead_letters[0]
+        assert letter.batch_index == 1
+        assert letter.attempts == 3
+        assert "StreamError" in letter.cause
+        assert result.num_dead_lettered == 1
+        # The stream's clock kept moving past the poison batch.
+        assert result.batches[2].done_s > poison.done_s
+
+    def test_fail_fast_without_retry_budget(self):
+        with pytest.raises(StreamError, match="batch 1 attempt 1"):
+            self._run({1: 1}, batch_retries=0)
+
+    def test_fault_free_metrics_identical_with_and_without_budget(self):
+        _, fail_fast, _ = self._run({}, batch_retries=0)
+        _, resilient, _ = self._run({}, batch_retries=5)
+        assert fail_fast.batches == resilient.batches
+
+    def test_retry_backoff_is_deterministic(self):
+        _, first, _ = self._run({0: 1, 2: 2}, batch_retries=3)
+        _, second, _ = self._run({0: 1, 2: 2}, batch_retries=3)
+        assert [b.retry_backoff_s for b in first.batches] == [
+            b.retry_backoff_s for b in second.batches
+        ]
+        assert [b.done_s for b in first.batches] == [b.done_s for b in second.batches]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="batch_retries"):
+            ContinuousPipeline(
+                ReplaySource([], rate=1.0), CountBatcher(2),
+                _FlakyConsumer(1.0, {}), batch_retries=-1,
+            )

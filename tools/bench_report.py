@@ -7,7 +7,10 @@ it as a table and compares every section against the pre-PR baseline in
 ``benchmarks/baseline_hotpaths.json``.  ``BENCH_sharding.json`` (from
 ``benchmarks/test_bench_sharding.py``) is rendered alongside when
 present: host wall-clock per backend plus the deterministic simulated
-merge/compact stage elapsed per shard count.
+merge/compact stage elapsed per shard count.  ``BENCH_resilience.json``
+(from ``benchmarks/test_bench_resilience.py``) adds the resilient
+executor's throughput and simulated retry-backoff overhead at injected
+failure rates of 0/1/5/20% per backend.
 
 Usage::
 
@@ -31,6 +34,7 @@ import sys
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUT_PATH = os.path.join(ROOT, "BENCH_hotpaths.json")
 SHARDING_PATH = os.path.join(ROOT, "BENCH_sharding.json")
+RESILIENCE_PATH = os.path.join(ROOT, "BENCH_resilience.json")
 BASELINE_PATH = os.path.join(ROOT, "benchmarks", "baseline_hotpaths.json")
 
 
@@ -47,6 +51,7 @@ def run_bench() -> int:
             "pytest",
             os.path.join(ROOT, "benchmarks", "test_bench_hotpaths.py"),
             os.path.join(ROOT, "benchmarks", "test_bench_sharding.py"),
+            os.path.join(ROOT, "benchmarks", "test_bench_resilience.py"),
             "-q",
         ],
         env=env,
@@ -142,6 +147,31 @@ def print_sharding_report(doc: dict) -> None:
             print(f"  {backend:<8} {cells}")
 
 
+def print_resilience_report(doc: dict) -> None:
+    host = doc.get("host", {})
+    print(
+        f"\nResilience perf report  (python {host.get('python', '?')}, "
+        f"scale={host.get('bench_scale', '?')})"
+    )
+    section = doc.get("task_resilience", {})
+    if not section:
+        return
+    rates = section.get("failure_rates", [])
+    print(
+        f"resilient executor ({section.get('num_tasks')} tasks, "
+        f"max_retries={section.get('max_retries')}), per injected fault rate:"
+    )
+    for backend, rows in sorted(section.get("backends", {}).items()):
+        cells = ", ".join(
+            f"{float(rate):.0%} {rows[rate]['tasks_per_s']} t/s"
+            f" (+{rows[rate]['sim_backoff_s']}s sim backoff,"
+            f" {rows[rate]['retries']} retries)"
+            for rate in rates
+            if rate in rows
+        )
+        print(f"  {backend:<8} {cells}")
+
+
 def check(doc: dict, baseline: dict) -> int:
     failures = []
     codec = doc.get("codec", {})
@@ -181,6 +211,9 @@ def main() -> int:
     sharding = load(SHARDING_PATH)
     if sharding:
         print_sharding_report(sharding)
+    resilience = load(RESILIENCE_PATH)
+    if resilience:
+        print_resilience_report(resilience)
     if args.check:
         return check(doc, baseline)
     return 0
