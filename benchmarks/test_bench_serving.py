@@ -1,0 +1,159 @@
+"""Benchmark — online serving under concurrent streaming ingestion.
+
+A :class:`repro.serving.QueryServer` answers a deterministic weighted
+query mix (point / multi-get / top-k / range) from one thread while a
+streaming WordCount pipeline ingests delta batches and publishes epochs
+from another.  Reported per serving-shard count: host queries/s, host
+p50/p99 query latency, the result-cache hit rate, distinct epochs
+served, and the simulated read cost charged through the cost model.
+
+Writes ``BENCH_serving.json`` at the repository root (a sibling of
+``BENCH_hotpaths.json``); ``tools/bench_report.py`` renders it.  The
+run also asserts the serving acceptance bar: queries answer while
+epochs advance, and the delta-invalidated cache still produces a
+nonzero hit rate.
+
+Run it alone with::
+
+    REPRO_BENCH_SCALE=test python -m pytest benchmarks/test_bench_serving.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import threading
+
+from benchmarks.conftest import run_once
+from repro.algorithms.wordcount import WordCountMapper, WordCountReducer
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CostModel
+from repro.datasets.text import zipf_tweets
+from repro.dfs.filesystem import DistributedFS
+from repro.mapreduce.job import JobConf
+from repro.serving import (
+    EpochManager,
+    LoadGenerator,
+    QueryMix,
+    QueryServer,
+    ServingBridge,
+)
+from repro.streaming import (
+    ContinuousPipeline,
+    CountBatcher,
+    OneStepStreamConsumer,
+    evolving_text_source,
+)
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_ROOT, "BENCH_serving.json")
+
+SHARD_COUNTS = (1, 4)
+
+#: per-scale workload shape: (tweets, generations, batch, queries).
+_SCALES = {
+    "test": (80, 2, 5, 400),
+    "small": (300, 3, 8, 2000),
+    "medium": (1000, 4, 12, 8000),
+}
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_serving.json``."""
+    doc = {}
+    if os.path.exists(_OUT_PATH):
+        with open(_OUT_PATH) as fh:
+            doc = json.load(fh)
+    doc.setdefault("schema", "bench-serving/1")
+    doc["host"] = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
+    }
+    doc[section] = payload
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _serving_rig(num_tweets: int, generations: int, batch: int, shards: int):
+    """A streaming WordCount pipeline bridged to a fresh query server."""
+    tweets = zipf_tweets(num_tweets, seed=21)
+    cluster = Cluster(num_workers=4, cost_model=CostModel(), seed=7)
+    dfs = DistributedFS(cluster, block_size=16 * 1024)
+    dfs.write("/tweets", sorted(tweets.tweets.items()))
+    conf = JobConf(name="wc", mapper=WordCountMapper,
+                   reducer=WordCountReducer, inputs=["/tweets"],
+                   output="/counts", num_reducers=2)
+    consumer = OneStepStreamConsumer.from_initial(
+        cluster, dfs, conf, accumulator=True
+    )
+    source = evolving_text_source(
+        tweets, fraction=0.15, generations=generations, period_s=60.0, seed=23
+    )
+    server = QueryServer(manager=EpochManager(num_shards=shards))
+    server.publish(consumer.state())
+    pipe = ContinuousPipeline(source, CountBatcher(batch), consumer)
+    pipe.add_batch_listener(ServingBridge(server))
+    return pipe, server
+
+
+def _drive(num_tweets, generations, batch, queries, shards):
+    """Queries from the main thread, ingestion on a background thread."""
+    pipe, server = _serving_rig(num_tweets, generations, batch, shards)
+    words = sorted(dict(server.manager.latest().items()))
+    loadgen = LoadGenerator(server, words, QueryMix(), seed=31)
+    with pipe:
+        ingest = threading.Thread(target=pipe.run)
+        ingest.start()
+        try:
+            # the load must overlap the whole ingestion: meet the query
+            # quota AND keep querying until the last batch commits.
+            report = loadgen.run(queries, keep_going=ingest.is_alive)
+        finally:
+            ingest.join()
+        report["ingested_batches"] = pipe.result.num_batches
+        report["cache_invalidations"] = server.cache.stats.invalidations
+        report["topk_rebuilds"] = server.manager.topk_rebuilds
+    return report
+
+
+def test_serving_under_concurrent_ingestion(benchmark, bench_scale):
+    num_tweets, generations, batch, queries = _SCALES.get(
+        bench_scale, _SCALES["test"]
+    )
+
+    def drive():
+        return {
+            shards: _drive(num_tweets, generations, batch, queries, shards)
+            for shards in SHARD_COUNTS
+        }
+
+    reports = run_once(benchmark, drive)
+    for shards, report in reports.items():
+        # the acceptance bar: epochs advanced under load and the
+        # delta-invalidated cache still earned hits.
+        assert report["epochs_served"] >= 1
+        assert report["cache_hit_rate"] > 0, f"{shards} shards: cold cache"
+        assert report["timeouts"] == 0
+        benchmark.extra_info[f"qps_{shards}sh"] = report["qps"]
+        benchmark.extra_info[f"hit_rate_{shards}sh"] = report["cache_hit_rate"]
+    _record(
+        "serving_load",
+        {
+            "shard_counts": list(SHARD_COUNTS),
+            "queries": queries,
+            "mix": {"point": 0.6, "multi": 0.15, "top_k": 0.15, "range": 0.1},
+            "per_shards": {str(s): r for s, r in reports.items()},
+        },
+    )
+    print("\nserving under concurrent ingestion:")
+    for shards, report in reports.items():
+        print(
+            f"  {shards} shard(s): {report['qps']} q/s, "
+            f"p50 {report['p50_ms']} ms, p99 {report['p99_ms']} ms, "
+            f"hit rate {report['cache_hit_rate']:.0%}, "
+            f"{report['epochs_served']} epochs served"
+        )

@@ -20,6 +20,11 @@ production-quality Python library:
   micro-batching policies (count / bytes / time-window / backpressure)
   and the :class:`ContinuousPipeline` driver that keeps the incremental
   engines running over an evolving stream;
+- :mod:`repro.serving` — the online read path over preserved state:
+  epoch-pinned snapshot-isolated queries (point / multi-get / range /
+  prefix / incrementally-maintained top-k), a delta-invalidated result
+  cache, and the :class:`ServingBridge` that turns every committed
+  micro-batch into a served epoch;
 - :mod:`repro.faults` — checkpoint-based fault tolerance (section 6);
 - :mod:`repro.baselines` — PlainMR recomputation, HaLoop, a Spark-like
   in-memory engine and an Incoop-like task-level memoizer (section 8.1.1);
@@ -90,6 +95,16 @@ from repro.mrbgraph import (
     ShardedMRBGStore,
     ShardRouter,
 )
+from repro.serving import (
+    EpochManager,
+    EpochSnapshot,
+    LoadGenerator,
+    QueryMix,
+    QueryResult,
+    QueryServer,
+    ResultCache,
+    ServingBridge,
+)
 from repro.streaming import (
     BackpressureBatcher,
     ByteBudgetBatcher,
@@ -103,7 +118,7 @@ from repro.streaming import (
     TimeWindowBatcher,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "GIMV",
@@ -152,6 +167,14 @@ __all__ = [
     "RangeShardRouter",
     "ShardRouter",
     "ShardedMRBGStore",
+    "EpochManager",
+    "EpochSnapshot",
+    "LoadGenerator",
+    "QueryMix",
+    "QueryResult",
+    "QueryServer",
+    "ResultCache",
+    "ServingBridge",
     "BackpressureBatcher",
     "ByteBudgetBatcher",
     "ContinuousPipeline",

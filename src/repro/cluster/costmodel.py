@@ -171,6 +171,21 @@ class CostModel:
         """
         return self.net_latency_s + nbytes / self.net_bw
 
+    def serving_read_time(self, local_bytes: int, remote_bytes: "tuple | list" = ()) -> float:
+        """Simulated cost of one online query's shard reads.
+
+        A query's *home* shard is read locally (one store window read);
+        every other shard it touches lives on a different worker, so its
+        bytes pay the store read **and** the cross-shard network hop.
+        Charged at *unscaled* rates like all MRBG-Store I/O — the
+        serving layer reads real bytes from the preserved state.
+        """
+        cost = self.store_read_time(local_bytes)
+        for nbytes in remote_bytes:
+            cost += self.store_read_time(nbytes)
+            cost += self.cross_shard_read_time(nbytes)
+        return cost
+
     def scaled(self, **overrides: float) -> "CostModel":
         """Return a copy with the given fields overridden."""
         return replace(self, **overrides)

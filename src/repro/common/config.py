@@ -145,6 +145,29 @@ CHAOS_SEED = _chaos_seed()
 #: Fraction of first task attempts the chaos mode fails (``REPRO_CHAOS_RATE``).
 CHAOS_RATE = float(os.environ.get("REPRO_CHAOS_RATE") or 0.05)
 
+#: Result-cache capacity of the online query server, in entries (LRU
+#: eviction; see :class:`repro.serving.ResultCache`).  Overridable via
+#: the ``REPRO_SERVING_CACHE`` environment variable; ``0`` disables
+#: caching.
+DEFAULT_SERVING_CACHE = _env_int("REPRO_SERVING_CACHE", 1024)
+
+#: How many published epochs the serving layer keeps queryable (pinned
+#: epochs always survive beyond this window).  Overridable via the
+#: ``REPRO_SERVING_RETAIN`` environment variable.
+DEFAULT_SERVING_RETAIN = _env_int("REPRO_SERVING_RETAIN", 8)
+
+#: Depth of the incrementally maintained serving top-k (queries for
+#: ``k`` up to this depth are answered without a scan).  Overridable via
+#: the ``REPRO_SERVING_TOPK`` environment variable.
+DEFAULT_SERVING_TOPK = _env_int("REPRO_SERVING_TOPK", 64)
+
+#: Default per-query timeout on the *simulated* clock, in seconds; a
+#: query whose charged read cost exceeds it raises
+#: :class:`repro.common.errors.QueryTimeout`.  ``None`` (the default)
+#: disables query timeouts.  Overridable via the
+#: ``REPRO_SERVING_TIMEOUT`` environment variable.
+DEFAULT_SERVING_TIMEOUT_S = _env_float("REPRO_SERVING_TIMEOUT")
+
 #: Default host execution backend for running map/reduce task batches
 #: (``"serial"`` / ``"thread"`` / ``"process"``); see
 #: :mod:`repro.execution`.  Overridable per job via ``JobConf.executor``

@@ -136,3 +136,39 @@ class ChunkNotFound(StoreError):
 
 class ConvergenceError(ReproError):
     """An iterative computation failed to converge within its budget."""
+
+
+class ServingError(ReproError):
+    """Base class for online query-serving (``repro.serving``) errors."""
+
+
+class QueryTimeout(ServingError):
+    """A query's simulated read cost exceeded its timeout budget.
+
+    The serving layer reuses :class:`repro.resilience.RetryPolicy`'s
+    ``timeout_s`` as a per-query deadline on the *simulated* clock: a
+    query whose charged read cost comes out above the deadline raises
+    this instead of returning (the client would have given up).
+    """
+
+    def __init__(self, query: str, cost_s: float, timeout_s: float) -> None:
+        super().__init__(
+            f"{query} took {cost_s:.6f} simulated s "
+            f"(timeout {timeout_s:.6f} s)"
+        )
+        self.query = query
+        self.cost_s = cost_s
+        self.timeout_s = timeout_s
+
+
+class EpochRetired(ServingError):
+    """The requested epoch fell out of the serving retention window.
+
+    Epochs older than the window are retired once unpinned; a reader
+    holding a bare epoch number past that point gets this error rather
+    than a silently different view.
+    """
+
+
+class UnknownEpoch(ServingError):
+    """The requested epoch was never published by this manager."""

@@ -1,0 +1,49 @@
+"""Online query serving over preserved state (the ROADMAP's front door).
+
+The package turns a streaming job's converged outputs into an online
+read path with three guarantees:
+
+- **Snapshot isolation** — :class:`EpochManager` publishes an immutable
+  :class:`EpochSnapshot` per committed micro-batch; every query pins
+  one epoch for its lifetime and can never observe a half-applied
+  delta, no matter how ingestion interleaves with it.
+- **Delta-driven caching** — :class:`ResultCache` memoises whole query
+  results and each published epoch's touched-key set invalidates
+  exactly the entries it could have changed.
+- **Honest costs** — :class:`QueryServer` charges every miss's bytes
+  through the cluster :class:`~repro.cluster.costmodel.CostModel`
+  (home-shard local read, cross-shard network hops) and enforces
+  per-query simulated deadlines via
+  :class:`~repro.resilience.RetryPolicy`.
+
+:class:`ServingBridge` wires a
+:class:`~repro.streaming.pipeline.ContinuousPipeline` to a server so
+each committed batch becomes the next served epoch, and
+:class:`LoadGenerator` drives deterministic query mixes for the
+benchmarks.
+"""
+
+from repro.serving.cache import CacheStats, ResultCache, entry_signature
+from repro.serving.epochs import EpochManager, EpochSnapshot
+from repro.serving.loadgen import LoadGenerator, QueryMix, percentile
+from repro.serving.server import (
+    QueryResult,
+    QueryServer,
+    ServerStats,
+    ServingBridge,
+)
+
+__all__ = [
+    "CacheStats",
+    "EpochManager",
+    "EpochSnapshot",
+    "LoadGenerator",
+    "QueryMix",
+    "QueryResult",
+    "QueryServer",
+    "ResultCache",
+    "ServerStats",
+    "ServingBridge",
+    "entry_signature",
+    "percentile",
+]

@@ -1,0 +1,164 @@
+"""Deterministic query load generator for the serving benchmarks.
+
+:class:`LoadGenerator` drives a weighted mix of point gets, multi-gets,
+top-k and range scans against a :class:`~repro.serving.server.QueryServer`
+— typically while a streaming pipeline publishes epochs concurrently —
+and reports throughput (host queries/s), host latency percentiles, the
+cache hit rate over the run, the simulated read cost, and how many
+distinct epochs answered.
+
+Query *choice* is deterministic (seeded ``random.Random``); what varies
+run to run is only host timing and which epoch happens to be current
+when each query lands.  A configurable *hot set* skews key choice so a
+realistic fraction of traffic re-asks recent questions — that is what
+gives the result cache something to do.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import QueryTimeout
+from repro.common.kvpair import sort_key
+from repro.serving.server import QueryServer
+
+
+@dataclass(frozen=True)
+class QueryMix:
+    """Relative weights of the query kinds a load run issues."""
+
+    #: weight of single-key point lookups.
+    point: float = 0.6
+    #: weight of batched multi-gets.
+    multi: float = 0.15
+    #: weight of top-k queries.
+    top_k: float = 0.15
+    #: weight of range scans.
+    range_scan: float = 0.1
+    #: keys per multi-get.
+    multi_size: int = 8
+    #: ``k`` for top-k queries.
+    k: int = 10
+    #: keys spanned by a range scan (by sorted-key distance).
+    range_span: int = 16
+
+    def __post_init__(self) -> None:
+        total = self.point + self.multi + self.top_k + self.range_scan
+        if total <= 0:
+            raise ValueError("query mix weights must sum to a positive value")
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by nearest-rank."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class LoadGenerator:
+    """Issues a deterministic weighted query mix against one server."""
+
+    def __init__(
+        self,
+        server: QueryServer,
+        keys: Sequence[Any],
+        mix: Optional[QueryMix] = None,
+        seed: int = 0,
+        hot_fraction: float = 0.1,
+        hot_weight: float = 0.7,
+    ) -> None:
+        if not keys:
+            raise ValueError("load generation needs a non-empty key universe")
+        self.server = server
+        self.keys = sorted(keys, key=sort_key)
+        self.mix = mix or QueryMix()
+        self.rng = random.Random(seed)
+        hot_count = max(1, int(len(self.keys) * hot_fraction))
+        #: the skewed subset that receives ``hot_weight`` of point traffic.
+        self.hot_keys = self.keys[:hot_count]
+        self.hot_weight = hot_weight
+
+    def _pick_key(self) -> Any:
+        if self.rng.random() < self.hot_weight:
+            return self.rng.choice(self.hot_keys)
+        return self.rng.choice(self.keys)
+
+    def _issue(self, kind: str) -> None:
+        mix = self.mix
+        if kind == "point":
+            self.server.get(self._pick_key())
+        elif kind == "multi":
+            wanted = min(mix.multi_size, len(self.keys))
+            # sample from the hot set first so multi-gets also cache-hit.
+            pool = self.hot_keys if len(self.hot_keys) >= wanted else self.keys
+            self.server.multi_get(sorted(
+                self.rng.sample(pool, wanted), key=sort_key
+            ))
+        elif kind == "top_k":
+            self.server.top_k(mix.k)
+        else:
+            start = self.rng.randrange(len(self.keys))
+            stop = min(len(self.keys) - 1, start + mix.range_span)
+            self.server.range_scan(self.keys[start], self.keys[stop])
+
+    def run(
+        self,
+        num_queries: int,
+        keep_going: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """Issue at least ``num_queries`` and return the load report.
+
+        ``keep_going`` (a zero-argument callable) extends the run: after
+        the quota is met, querying continues while it returns true — the
+        concurrent-ingestion benchmark passes the pipeline thread's
+        ``is_alive`` so the load provably overlaps every published
+        epoch.  The report carries host throughput/latency (wall-clock —
+        varies run to run), the cache hit rate and simulated read cost
+        over this run (deterministic given the same epoch interleaving),
+        the distinct epochs that answered, and the timeout count.
+        """
+        mix = self.mix
+        kinds = ["point", "multi", "top_k", "range"]
+        weights = [mix.point, mix.multi, mix.top_k, mix.range_scan]
+        stats = self.server.stats
+        cache = self.server.cache.stats
+        base_hits = cache.hits
+        base_misses = cache.misses
+        base_sim = stats.sim_read_s
+        base_timeouts = stats.timeouts
+        latencies: List[float] = []
+        started = time.perf_counter()
+        issued = 0
+        while issued < num_queries or (keep_going is not None and keep_going()):
+            kind = self.rng.choices(kinds, weights)[0]
+            t0 = time.perf_counter()
+            try:
+                self._issue(kind)
+            except QueryTimeout:
+                pass  # counted by the server; the load goes on
+            latencies.append(time.perf_counter() - t0)
+            issued += 1
+        elapsed = time.perf_counter() - started
+        hits = cache.hits - base_hits
+        misses = cache.misses - base_misses
+        lookups = hits + misses
+        return {
+            "queries": issued,
+            "elapsed_s": round(elapsed, 6),
+            "qps": round(issued / elapsed, 1) if elapsed > 0 else 0.0,
+            "p50_ms": round(percentile(latencies, 0.50) * 1e3, 4),
+            "p99_ms": round(percentile(latencies, 0.99) * 1e3, 4),
+            "cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "cache_hits": hits,
+            "sim_read_s": round(stats.sim_read_s - base_sim, 6),
+            "timeouts": stats.timeouts - base_timeouts,
+            "epochs_served": stats.num_epochs_served,
+        }
+
+
+__all__ = ["LoadGenerator", "QueryMix", "percentile"]

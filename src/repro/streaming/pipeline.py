@@ -38,7 +38,7 @@ stream.  Fault-free runs produce byte-identical metrics either way.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Iterator, List, Optional, Tuple
 
 from repro.cluster.costmodel import CostModel
 from repro.common.errors import DeadLetteredBatch
@@ -52,6 +52,12 @@ from repro.streaming.sources import ArrivedRecord, DeltaSource
 #: Encoded overhead of the +/- op marker on a delta record — the same
 #: charge the incremental engines apply per delta record.
 _OP_BYTES = 2
+
+#: Batch-listener signature: called with (pipeline, batch_metrics) after
+#: every batch's metrics are recorded (dead-lettered batches included —
+#: listeners check ``metrics.dead_lettered`` when they only want
+#: committed work, as the serving bridge does).
+BatchListener = Callable[["ContinuousPipeline", StreamBatchMetrics], None]
 
 
 def delta_record_size(record) -> int:
@@ -69,6 +75,7 @@ class ContinuousPipeline:
         consumer: StreamConsumer,
         batch_retries: int = 0,
         cost_model: Optional[CostModel] = None,
+        batch_listeners: Optional[List[BatchListener]] = None,
     ) -> None:
         if batch_retries < 0:
             raise ValueError("batch_retries must be >= 0")
@@ -85,6 +92,10 @@ class ContinuousPipeline:
         #: :class:`repro.common.errors.DeadLetteredBatch` per skipped
         #: batch, carrying the batch index, attempts and final error.
         self.dead_letters: List[DeadLetteredBatch] = []
+        #: callbacks invoked with ``(pipeline, metrics)`` after every
+        #: batch commits its metrics — the hook the serving layer uses
+        #: to publish a new epoch per committed micro-batch.
+        self.batch_listeners: List[BatchListener] = list(batch_listeners or ())
         self.result = StreamRunResult()
         policy.reset()
         self._events: Optional[Iterator[ArrivedRecord]] = None
@@ -193,6 +204,10 @@ class ContinuousPipeline:
                     failures - 1, stable_hash((index, failures))
                 )
 
+    def add_batch_listener(self, listener: BatchListener) -> None:
+        """Register a callback run after each batch's metrics commit."""
+        self.batch_listeners.append(listener)
+
     def run(self, max_batches: Optional[int] = None) -> StreamRunResult:
         """Process batches until the source drains (or a batch budget).
 
@@ -234,6 +249,8 @@ class ContinuousPipeline:
                 retry_backoff_s=backoff_s,
             )
             self.result.batches.append(metrics)
+            for listener in self.batch_listeners:
+                listener(self, metrics)
             self.policy.observe(
                 BatchFeedback(
                     backlog_records=metrics.backlog_records,

@@ -11,6 +11,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -19,7 +21,26 @@ def test_docs_exist():
     assert (ROOT / "docs" / "architecture.md").is_file()
     assert (ROOT / "docs" / "experiments.md").is_file()
     assert (ROOT / "docs" / "store.md").is_file()
+    assert (ROOT / "docs" / "serving.md").is_file()
     assert (ROOT / "docs" / "api.md").is_file()
+
+
+def test_no_tracked_pycache():
+    """Compiled bytecode must never be tracked under ``src/`` (CI gate)."""
+    proc = subprocess.run(
+        ["git", "ls-files", "--", "src"],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    if proc.returncode != 0:
+        pytest.skip("not a git checkout")
+    offenders = [
+        line
+        for line in proc.stdout.splitlines()
+        if "__pycache__" in line or line.endswith(".pyc")
+    ]
+    assert offenders == [], f"tracked bytecode under src/: {offenders}"
 
 
 def test_docs_links_resolve():
@@ -57,6 +78,10 @@ def test_readme_documents_env_knobs():
         "REPRO_CHAOS_SEED",
         "REPRO_CHAOS_RATE",
         "REPRO_BENCH_SCALE",
+        "REPRO_SERVING_CACHE",
+        "REPRO_SERVING_RETAIN",
+        "REPRO_SERVING_TOPK",
+        "REPRO_SERVING_TIMEOUT",
     ):
         assert knob in readme, f"{knob} missing from README.md"
 
@@ -136,6 +161,43 @@ def test_store_doc_covers_durability():
         "--runslow",
     ):
         assert term in store, f"{term} missing from docs/store.md"
+
+
+def test_serving_doc_covers_the_contract():
+    """docs/serving.md explains epochs, query APIs and invalidation."""
+    serving = (ROOT / "docs" / "serving.md").read_text(encoding="utf-8")
+    assert "## Epoch lifecycle" in serving
+    assert "## Query APIs" in serving
+    assert "## Cache-invalidation contract" in serving
+    for term in (
+        "EpochManager",
+        "EpochSnapshot",
+        "QueryServer",
+        "ServingBridge",
+        "ResultCache",
+        "pinned",
+        "touched",
+        "top_k",
+        "QueryTimeout",
+        "EpochRetired",
+        "serving_pagerank.py",
+    ):
+        assert term in serving, f"{term} missing from docs/serving.md"
+
+
+def test_experiments_documents_serving_bench():
+    """The serving benchmark and its report columns are documented."""
+    experiments = (ROOT / "docs" / "experiments.md").read_text(encoding="utf-8")
+    assert "test_bench_serving.py" in experiments
+    for column in (
+        "qps",
+        "p50_ms",
+        "p99_ms",
+        "cache_hit_rate",
+        "epochs_served",
+        "BENCH_serving.json",
+    ):
+        assert column in experiments, f"{column} not documented"
 
 
 def test_api_reference_is_fresh():

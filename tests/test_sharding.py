@@ -97,6 +97,42 @@ class TestRangeRouter:
         with pytest.raises(StoreError):
             router_from_spec({"kind": "nope"})
 
+    def test_boundary_keys_route_to_the_shard_they_bound(self):
+        """A key exactly equal to a boundary belongs to that boundary's
+        shard (boundaries are inclusive upper bounds)."""
+        router = RangeShardRouter([10, 20, 30])
+        assert [router.shard_for(b) for b in (10, 20, 30)] == [0, 1, 2]
+        # and the first key past each boundary spills to the next shard.
+        assert [router.shard_for(b + 1) for b in (10, 20, 30)] == [1, 2, 3]
+
+    def test_keys_outside_all_boundaries(self):
+        router = RangeShardRouter([10, 20])
+        # far below every boundary -> the first shard.
+        assert router.shard_for(-(10 ** 9)) == 0
+        # far above every boundary -> the last (open-ended) shard.
+        assert router.shard_for(10 ** 9) == 2
+        # num_shards is always boundaries + 1, even for one boundary.
+        assert RangeShardRouter([0]).num_shards == 2
+
+    def test_spec_roundtrip_with_non_integer_boundaries(self):
+        """String / float / tuple boundaries survive the spec roundtrip
+        and keep routing identically (sort_key gives the total order)."""
+        for boundaries, probes in [
+            (["g", "n", "t"], ["", "a", "g", "h", "n", "o", "t", "z", "zz"]),
+            ([0.5, 1.25], [-1.0, 0.5, 0.75, 1.25, 9.9]),
+            ([("a", 1), ("b", 2)], [("a", 0), ("a", 1), ("a", 2), ("b", 2), ("c", 0)]),
+        ]:
+            router = RangeShardRouter(boundaries)
+            clone = router_from_spec(router.spec())
+            assert clone.boundaries == boundaries
+            for probe in probes:
+                shard = router.shard_for(probe)
+                assert 0 <= shard < router.num_shards
+                assert clone.shard_for(probe) == shard
+        # mixed-but-sorted string boundaries reject unsorted input too.
+        with pytest.raises(ValueError):
+            RangeShardRouter(["t", "g"])
+
 
 class TestRouterStability:
     """Routing is a pure function of the key: inserting or deleting

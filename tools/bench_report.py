@@ -10,7 +10,10 @@ present: host wall-clock per backend plus the deterministic simulated
 merge/compact stage elapsed per shard count.  ``BENCH_resilience.json``
 (from ``benchmarks/test_bench_resilience.py``) adds the resilient
 executor's throughput and simulated retry-backoff overhead at injected
-failure rates of 0/1/5/20% per backend.
+failure rates of 0/1/5/20% per backend.  ``BENCH_serving.json`` (from
+``benchmarks/test_bench_serving.py``) reports the online query server
+under concurrent streaming ingestion: queries/s, p50/p99 host latency,
+cache hit rate and epochs served per serving-shard count.
 
 Usage::
 
@@ -35,6 +38,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUT_PATH = os.path.join(ROOT, "BENCH_hotpaths.json")
 SHARDING_PATH = os.path.join(ROOT, "BENCH_sharding.json")
 RESILIENCE_PATH = os.path.join(ROOT, "BENCH_resilience.json")
+SERVING_PATH = os.path.join(ROOT, "BENCH_serving.json")
 BASELINE_PATH = os.path.join(ROOT, "benchmarks", "baseline_hotpaths.json")
 
 
@@ -52,6 +56,7 @@ def run_bench() -> int:
             os.path.join(ROOT, "benchmarks", "test_bench_hotpaths.py"),
             os.path.join(ROOT, "benchmarks", "test_bench_sharding.py"),
             os.path.join(ROOT, "benchmarks", "test_bench_resilience.py"),
+            os.path.join(ROOT, "benchmarks", "test_bench_serving.py"),
             "-q",
         ],
         env=env,
@@ -172,6 +177,30 @@ def print_resilience_report(doc: dict) -> None:
         print(f"  {backend:<8} {cells}")
 
 
+def print_serving_report(doc: dict) -> None:
+    host = doc.get("host", {})
+    print(
+        f"\nServing perf report  (python {host.get('python', '?')}, "
+        f"scale={host.get('bench_scale', '?')})"
+    )
+    section = doc.get("serving_load", {})
+    if not section:
+        return
+    mix = section.get("mix", {})
+    mix_cells = "/".join(f"{kind} {weight:.0%}" for kind, weight in sorted(mix.items()))
+    print(f"query server under concurrent ingestion (mix: {mix_cells}):")
+    for shards in section.get("shard_counts", []):
+        row = section.get("per_shards", {}).get(str(shards), {})
+        print(
+            f"  {shards:>2} shard(s): {row.get('qps')} q/s, "
+            f"p50 {row.get('p50_ms')} ms, p99 {row.get('p99_ms')} ms, "
+            f"hit rate {row.get('cache_hit_rate')}, "
+            f"{row.get('epochs_served')} epochs served, "
+            f"{row.get('timeouts')} timeouts "
+            f"({row.get('ingested_batches')} batches ingested)"
+        )
+
+
 def check(doc: dict, baseline: dict) -> int:
     failures = []
     codec = doc.get("codec", {})
@@ -214,6 +243,9 @@ def main() -> int:
     resilience = load(RESILIENCE_PATH)
     if resilience:
         print_resilience_report(resilience)
+    serving = load(SERVING_PATH)
+    if serving:
+        print_serving_report(serving)
     if args.check:
         return check(doc, baseline)
     return 0
