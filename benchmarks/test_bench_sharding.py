@@ -219,7 +219,16 @@ def test_bench_shard_maintenance(benchmark, bench_scale):
 
 
 def test_bench_shard_incremental_round(benchmark, bench_scale):
-    """End-to-end incremental PageRank round, shards × backends."""
+    """End-to-end incremental PageRank round, shards × backends.
+
+    Every combination records a digest of its refreshed state in the
+    JSON payload — the correctness record must be present whether or
+    not the combination won its wall-clock race (a process pool losing
+    to serial on a small workload is expected, a digest mismatch is
+    not).
+    """
+    import hashlib
+
     from repro.algorithms.pagerank import PageRank
     from repro.datasets.graphs import mutate_web_graph, powerlaw_web_graph
     from repro.experiments.harness import make_cluster
@@ -258,7 +267,24 @@ def test_bench_shard_incremental_round(benchmark, bench_scale):
             results[name][str(shards)] = {
                 "round_s": round(round_s, 4),
                 "delta_records_per_s": round(len(delta.records) / round_s, 1),
+                "state_digest": hashlib.sha256(
+                    repr(state).encode()
+                ).hexdigest()[:16],
             }
+
+    # The digest is recorded unconditionally — even when a pool backend
+    # loses the wall-clock race to serial — and must agree everywhere.
+    digests = {
+        (name, shards): results[name][shards]["state_digest"]
+        for name in results
+        for shards in results[name]
+    }
+    assert len(set(digests.values())) == 1, digests
+    slowest = max(
+        ((name, shards) for name in results for shards in results[name]),
+        key=lambda pair: results[pair[0]][pair[1]]["round_s"],
+    )
+    assert "state_digest" in results[slowest[0]][slowest[1]]
 
     payload = {"vertices": vertices, "backends": results}
     _record("incremental_round", payload)

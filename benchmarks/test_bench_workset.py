@@ -1,0 +1,181 @@
+"""Benchmark — workset (delta) iteration: execution-footprint collapse.
+
+Two sections land in ``BENCH_workset.json`` at the repository root
+(rendered by ``tools/bench_report.py``):
+
+- ``superstep_collapse``: converging PageRank on a cascade DAG whose
+  vertices each own a distinct prime-task partition.  Rank changes die
+  out level by level, so the per-superstep scheduled-map-task and
+  touched-vertex series must collapse *strictly* to zero — the
+  acceptance claim of workset execution (a full-sweep engine would
+  schedule the constant partition count every superstep).
+- ``frontier_savings``: SSSP to the exact fixpoint on a power-law
+  graph, full sweep vs workset; total scheduled tasks and touched
+  vertices quantify the work the dirty frontier avoids, with identical
+  final state.
+
+Run it alone with::
+
+    REPRO_BENCH_SCALE=test python -m pytest benchmarks/test_bench_workset.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+from benchmarks.conftest import run_once
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.common.hashing import partition_for
+from repro.datasets.graphs import WebGraph, powerlaw_web_graph, weighted_graph_from
+from repro.iterative.api import IterativeJob
+from repro.iterative.engine import IterMREngine
+
+from tests.conftest import fresh_cluster
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_ROOT, "BENCH_workset.json")
+
+#: per-scale shapes: (chain depth, powerlaw vertices).
+_SCALES = {
+    "test": (12, 300),
+    "small": (24, 1000),
+    "medium": (48, 4000),
+}
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into ``BENCH_workset.json``."""
+    doc = {}
+    if os.path.exists(_OUT_PATH):
+        with open(_OUT_PATH) as fh:
+            doc = json.load(fh)
+    doc.setdefault("schema", "bench-workset/1")
+    doc["host"] = {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
+    }
+    doc[section] = payload
+    with open(_OUT_PATH, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _cascade_graph(depth: int) -> WebGraph:
+    """A transitive-tournament DAG, one prime-task partition per vertex.
+
+    Vertex ``i`` links to every later vertex, so rank ``i`` reaches its
+    fixpoint exactly one superstep after ranks ``0..i-1`` do — the dirty
+    frontier loses exactly one vertex per superstep.  Vertex ids are
+    chosen so ``partition_for(id, depth)`` enumerates all ``depth``
+    residues: every level is its own partition, making the
+    scheduled-task series read directly as "levels still dirty".
+    """
+    ids = []
+    seen = set()
+    candidate = 0
+    while len(ids) < depth:
+        shard = partition_for(candidate, depth)
+        if shard not in seen:
+            seen.add(shard)
+            ids.append(candidate)
+        candidate += 1
+    out_links = {
+        ids[i]: tuple(ids[i + 1:])
+        for i in range(depth)
+    }
+    return WebGraph(out_links)
+
+
+def test_bench_workset_superstep_collapse(benchmark, bench_scale):
+    depth, _ = _SCALES.get(bench_scale, _SCALES["test"])
+    graph = _cascade_graph(depth)
+    cluster, dfs = fresh_cluster()
+
+    def drive():
+        return IterMREngine(cluster, dfs).run(
+            IterativeJob(
+                PageRank(), graph, num_partitions=depth,
+                max_iterations=depth + 4, workset=True,
+            )
+        )
+
+    result = run_once(benchmark, drive)
+    assert result.converged
+
+    # Superstep 0 is the priming full sweep; the *delta* supersteps that
+    # follow are the workset claim.  The run stops on an empty workset,
+    # so the series closes with the 0 no further superstep scheduled.
+    map_series = [s.scheduled_map_tasks for s in result.per_iteration[1:]] + [0]
+    touched_series = [s.touched_vertices for s in result.per_iteration[1:]] + [0]
+    workset_series = [s.workset_size for s in result.per_iteration]
+
+    assert map_series[0] == depth
+    assert all(a > b for a, b in zip(map_series, map_series[1:])), map_series
+    assert all(a > b for a, b in zip(touched_series, touched_series[1:]))
+    assert workset_series[-1] == 0
+
+    payload = {
+        "depth": depth,
+        "num_partitions": depth,
+        "supersteps": len(result.per_iteration),
+        "seed_map_tasks": result.per_iteration[0].scheduled_map_tasks,
+        "map_tasks_per_superstep": map_series,
+        "touched_vertices_per_superstep": touched_series,
+        "workset_size_per_superstep": workset_series,
+        "full_sweep_map_tasks_per_superstep": depth,
+    }
+    _record("superstep_collapse", payload)
+    benchmark.extra_info.update({"superstep_collapse": payload})
+    print(
+        f"\nworkset collapse (cascade depth {depth}): "
+        f"map tasks {map_series} vs constant {depth} full-sweep"
+    )
+
+
+def test_bench_workset_frontier_savings(benchmark, bench_scale):
+    _, vertices = _SCALES.get(bench_scale, _SCALES["test"])
+    graph = weighted_graph_from(powerlaw_web_graph(vertices, 5, seed=9), seed=1)
+    knobs = dict(num_partitions=4, max_iterations=40, epsilon=0.0)
+
+    def drive(workset):
+        cluster, dfs = fresh_cluster()
+        return IterMREngine(cluster, dfs).run(
+            IterativeJob(SSSP(source=0), graph, workset=workset, **knobs)
+        )
+
+    full = drive(False)
+    ws = run_once(benchmark, drive, True)
+    assert ws.state == full.state
+    assert ws.iterations == full.iterations
+
+    def totals(result):
+        return (
+            sum(s.scheduled_map_tasks for s in result.per_iteration),
+            sum(s.touched_vertices for s in result.per_iteration),
+        )
+
+    full_tasks, full_touched = totals(full)
+    ws_tasks, ws_touched = totals(ws)
+    assert ws_tasks <= full_tasks
+    assert ws_touched < full_touched
+
+    payload = {
+        "vertices": vertices,
+        "iterations": ws.iterations,
+        "full_sweep": {"map_tasks": full_tasks, "touched_vertices": full_touched},
+        "workset": {"map_tasks": ws_tasks, "touched_vertices": ws_touched},
+        "touched_savings": round(1.0 - ws_touched / full_touched, 4),
+    }
+    _record("frontier_savings", payload)
+    benchmark.extra_info.update({"frontier_savings": payload})
+    print(
+        f"\nworkset frontier savings (sssp, {vertices} vertices): "
+        f"touched {ws_touched} vs {full_touched} "
+        f"({payload['touched_savings']:.0%} saved), "
+        f"map tasks {ws_tasks} vs {full_tasks}"
+    )

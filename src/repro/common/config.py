@@ -69,6 +69,16 @@ DEFAULT_WAL_ENABLED = _env_flag("REPRO_WAL", True)
 #: ``JobConf.compaction``.
 DEFAULT_COMPACTION = os.environ.get("REPRO_COMPACTION", "full")
 
+#: Whether iterative engines run workset-driven delta iterations by
+#: default: each superstep re-maps only the state keys whose value
+#: changed (the dirty frontier), schedules map tasks only for the shard
+#: partitions holding dirty members, and terminates on an empty workset
+#: (Ewen et al., *Spinning Fast Iterative Data Flows*).  Off by default —
+#: the full-sweep engines remain the reference semantics.  Overridable
+#: via the ``REPRO_WORKSET`` environment variable or per job via
+#: ``IterativeJob.workset`` / ``I2MROptions.workset``.
+DEFAULT_WORKSET = _env_flag("REPRO_WORKSET", False)
+
 #: Change-propagation-control filter threshold default (§8.5).
 DEFAULT_FILTER_THRESHOLD = 1.0
 

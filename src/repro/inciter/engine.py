@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import Counters, JobMetrics, StageTimes
+from repro.common import config
 from repro.common.errors import JobError
 from repro.common.hashing import map_key, partition_for
 from repro.common.kvpair import DeltaRecord, Op, sort_key, sort_records
@@ -143,6 +144,12 @@ class I2MROptions:
     epsilon: Optional[float] = None
     #: Record a state snapshot after every iteration (Fig 10 error curves).
     record_states: bool = False
+    #: Run fallback iterations as workset supersteps
+    #: (:mod:`repro.iterative.workset`) instead of full sweeps: the first
+    #: fallback iteration primes the edge cache, later ones re-map only
+    #: the dirty frontier, and the run stops when the frontier drains.
+    #: ``None`` defers to the ``REPRO_WORKSET`` environment default.
+    workset: Optional[bool] = None
 
 
 @dataclass
@@ -357,6 +364,12 @@ class I2MREngine:
         converged = False
         iterations = 0
         delta_state: Dict[Any, Any] = {}
+        use_workset = (
+            options.workset
+            if options.workset is not None
+            else config.DEFAULT_WORKSET
+        )
+        ws_runner = None
 
         for it in range(options.max_iterations):
             iterations = it + 1
@@ -364,6 +377,40 @@ class I2MREngine:
                 if it == 0:
                     self._apply_delta_to_structure(algorithm, parts, delta_records)
                     self._reconcile_state_keys(algorithm, parts, state)
+                if use_workset:
+                    # Workset fallback: the first fallback iteration is
+                    # the priming sweep (every vertex dirty); later ones
+                    # re-map only the frontier the previous superstep
+                    # left dirty, and an empty frontier ends the run.
+                    if ws_runner is None:
+                        from repro.iterative.workset import WorksetRunner
+
+                        ws_runner = WorksetRunner(
+                            algorithm,
+                            parts,
+                            state,
+                            self.cluster,
+                            executor=backend,
+                            threshold=None,
+                        )
+                        stats = ws_runner.seed()
+                    else:
+                        stats = ws_runner.step()
+                    stats.iteration = it
+                    metrics.times.add(stats.times)
+                    per_iteration.append(stats)
+                    if options.record_states:
+                        state_history.append(dict(state))
+                    if (
+                        options.epsilon is not None
+                        and stats.total_difference <= options.epsilon
+                    ):
+                        converged = True
+                        break
+                    if not ws_runner.workset:
+                        converged = True
+                        break
+                    continue
                 full = run_full_iteration(
                     algorithm, parts, state, self.cluster, executor=backend
                 )
@@ -378,6 +425,9 @@ class I2MREngine:
                         propagated_kv_pairs=len(full.outputs),
                         total_difference=full.total_difference,
                         mrbg_maintained=False,
+                        scheduled_map_tasks=n,
+                        scheduled_reduce_tasks=n,
+                        touched_vertices=sum(len(g) for g in parts.groups),
                     )
                 )
                 if options.record_states:
@@ -412,6 +462,8 @@ class I2MREngine:
                 converged = True
                 break
 
+        if ws_runner is not None:
+            metrics.counters.merge(ws_runner.counters)
         prev.state = state
         return I2MRResult(
             state=state,
@@ -455,16 +507,17 @@ class I2MREngine:
         removed_dks: List[Any] = []
 
         if delta_records is not None:
-            self._map_delta_structure(
+            map_tasks, touched_vertices = self._map_delta_structure(
                 algorithm, parts, state, delta_records, delta_edges, edge_bytes,
                 map_loads, new_dks, removed_dks, counters,
             )
         else:
-            self._map_delta_state(
+            map_tasks, touched_vertices = self._map_delta_state(
                 algorithm, parts, state, delta_state, delta_edges, edge_bytes,
                 map_loads, counters, backend,
             )
         times.map = max(map_loads) if map_loads else 0.0
+        reduce_tasks = sum(1 for q in range(n) if delta_edges[q])
 
         # ----------------------- shuffle + sort ------------------------ #
         shuffle_loads = [0.0] * workers
@@ -606,6 +659,10 @@ class I2MREngine:
             propagated_kv_pairs=len(next_delta_state),
             total_difference=total_difference,
             mrbg_maintained=True,
+            scheduled_map_tasks=map_tasks,
+            scheduled_reduce_tasks=reduce_tasks,
+            touched_vertices=touched_vertices,
+            workset_size=len(next_delta_state),
         )
         outcome.counters = counters
         outcome.next_delta_state = next_delta_state
@@ -627,8 +684,12 @@ class I2MREngine:
         new_dks: List[Any],
         removed_dks: List[Any],
         counters: Counters,
-    ) -> None:
-        """Iteration 1: map only the changed structure kv-pairs (§5.1)."""
+    ) -> Tuple[int, int]:
+        """Iteration 1: map only the changed structure kv-pairs (§5.1).
+
+        Returns ``(map tasks materialized, distinct state keys touched)``
+        for the scheduling-footprint stats.
+        """
         cost = self.cluster.cost_model
         n = parts.num_partitions
         workers = self.cluster.num_workers
@@ -641,6 +702,7 @@ class I2MREngine:
         # whole delta leaves it without structure (an update is a deletion
         # followed by an insertion of the same key, §3.1).
         removal_candidates: set = set()
+        touched_dks: set = set()
 
         for p, recs in per_partition.items():
             read_bytes = 0
@@ -649,6 +711,7 @@ class I2MREngine:
             for rec in recs:
                 sk, sv, op = rec.key, rec.value, rec.op
                 dk = algorithm.project(sk)
+                touched_dks.add(dk)
                 read_bytes += record_size(sk, sv) + _OP_BYTES
                 if op is Op.DELETE:
                     try:
@@ -691,6 +754,7 @@ class I2MREngine:
             if dk not in parts.groups[p]:
                 removed_dks.append(dk)
         counters.add("delta_map_instances", len(delta_records))
+        return len(per_partition), len(touched_dks)
 
     def _map_delta_state(
         self,
@@ -703,13 +767,15 @@ class I2MREngine:
         map_loads: List[float],
         counters: Counters,
         backend: Optional[ExecutionBackend] = None,
-    ) -> None:
+    ) -> Tuple[int, int]:
         """Iteration j ≥ 2: map the structure kv-pairs whose interdependent
         state kv-pair changed (§5.1).
 
         These map tasks are pure (the structure is not mutated in state
         iterations), so the batch runs on the job's execution backend;
-        emissions merge in partition order.
+        emissions merge in partition order.  Returns ``(map tasks
+        materialized, state-key groups mapped)`` for the
+        scheduling-footprint stats.
         """
         cost = self.cluster.cost_model
         n = parts.num_partitions
@@ -755,6 +821,7 @@ class I2MREngine:
             map_loads[p % workers] += task_cost
             instances += run.pairs_done
         counters.add("delta_map_instances", instances)
+        return len(payloads), sum(len(v) for v in per_partition.values())
 
     # ------------------------------------------------------------------ #
     # helpers                                                            #

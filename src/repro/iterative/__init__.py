@@ -13,6 +13,15 @@ from repro.iterative.partitioning import (
     state_partition,
 )
 
+# Imported after the engine: repro.iterative.workset pulls in
+# repro.inciter.cpc, whose package imports the inciter engine, which
+# imports the iterative modules above.
+from repro.iterative.workset import (  # noqa: E402  (documented order)
+    PartitionRouter,
+    Workset,
+    WorksetRunner,
+)
+
 __all__ = [
     "Dependency",
     "IterationStats",
@@ -25,4 +34,7 @@ __all__ = [
     "PartitionedStructure",
     "partition_structure",
     "state_partition",
+    "PartitionRouter",
+    "Workset",
+    "WorksetRunner",
 ]

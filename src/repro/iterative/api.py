@@ -80,6 +80,14 @@ class IterativeJob:
         speculation: whether stragglers are speculatively duplicated
             with first-result-wins semantics (``None`` = the
             ``REPRO_SPECULATION`` default).
+        workset: run workset-driven delta iterations
+            (:mod:`repro.iterative.workset`) — each superstep re-maps
+            only the dirty frontier and the run terminates on an empty
+            workset.  ``None`` defers to the ``REPRO_WORKSET``
+            environment default (off: full sweeps).
+        workset_threshold: CPC filter threshold applied to the workset
+            frontier (``None`` keeps the exact fixpoint — every non-zero
+            change stays dirty).
     """
 
     algorithm: Any
@@ -92,6 +100,8 @@ class IterativeJob:
     task_retries: Optional[int] = None
     task_timeout_s: Optional[float] = None
     speculation: Optional[bool] = None
+    workset: Optional[bool] = None
+    workset_threshold: Optional[float] = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidJobConf` on an unusable configuration."""
@@ -116,11 +126,21 @@ class IterativeJob:
             raise InvalidJobConf("task_retries must be non-negative")
         if self.task_timeout_s is not None and self.task_timeout_s <= 0:
             raise InvalidJobConf("task_timeout_s must be positive")
+        if self.workset_threshold is not None and self.workset_threshold < 0:
+            raise InvalidJobConf("workset_threshold must be non-negative")
 
 
 @dataclass
 class IterationStats:
-    """Per-iteration record kept by the iterative engines."""
+    """Per-iteration record kept by the iterative engines.
+
+    The last four fields describe the superstep's *execution footprint*:
+    how many map/reduce tasks the scheduler actually materialized, how
+    many state vertices the map stage touched, and how many keys stayed
+    dirty afterwards.  Full sweeps fill them with the constant
+    partition-wide counts; workset supersteps show them collapsing as
+    the computation converges (the ``BENCH_workset.json`` series).
+    """
 
     iteration: int
     times: "StageTimes"
@@ -128,6 +148,10 @@ class IterationStats:
     propagated_kv_pairs: int = 0
     total_difference: float = 0.0
     mrbg_maintained: bool = False
+    scheduled_map_tasks: int = 0
+    scheduled_reduce_tasks: int = 0
+    touched_vertices: int = 0
+    workset_size: int = 0
 
 
 # Imported late to avoid a cycle with repro.cluster.metrics type hints.

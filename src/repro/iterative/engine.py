@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.metrics import Counters, JobMetrics, StageTimes
+from repro.common import config
 from repro.common.hashing import map_key, partition_for
 from repro.common.kvpair import sort_key, sort_records
 from repro.common.sizeof import record_size
@@ -483,6 +484,48 @@ class IterMREngine:
         per_iteration: List[IterationStats] = []
         converged = False
         iterations = 0
+        use_workset = (
+            job.workset if job.workset is not None else config.DEFAULT_WORKSET
+        )
+        if use_workset:
+            # Workset-driven delta iteration (Ewen et al.): superstep 0
+            # is the priming full sweep; later supersteps re-map only
+            # the dirty frontier and the loop stops when it drains empty
+            # (the exact fixpoint) — fault_context is a full-sweep-only
+            # feature and is ignored here.
+            from repro.iterative.workset import WorksetRunner
+
+            runner = WorksetRunner(
+                algorithm,
+                parts,
+                state,
+                self.cluster,
+                executor=backend,
+                threshold=job.workset_threshold,
+            )
+            for it in range(job.max_iterations):
+                stats = runner.seed() if it == 0 else runner.step()
+                iterations = it + 1
+                metrics.times.add(stats.times)
+                per_iteration.append(stats)
+                if job.epsilon is not None and stats.total_difference <= job.epsilon:
+                    converged = True
+                    break
+                if not runner.workset:
+                    converged = True
+                    break
+            metrics.counters.merge(runner.counters)
+            return IterMRResult(
+                state=runner.state,
+                iterations=iterations,
+                converged=converged,
+                per_iteration=per_iteration,
+                metrics=metrics,
+                preprocess_s=preprocess_s,
+                parts=parts,
+            )
+
+        full_touched = sum(len(g) for g in parts.groups)
         for it in range(job.max_iterations):
             result = run_full_iteration(
                 algorithm,
@@ -503,6 +546,9 @@ class IterMREngine:
                     changed_keys=len(result.outputs),
                     propagated_kv_pairs=len(result.outputs),
                     total_difference=result.total_difference,
+                    scheduled_map_tasks=parts.num_partitions,
+                    scheduled_reduce_tasks=parts.num_partitions,
+                    touched_vertices=full_touched,
                 )
             )
             if job.epsilon is not None and result.total_difference <= job.epsilon:

@@ -43,6 +43,11 @@ class StreamBatchMetrics:
     #: incremental iterations the engine ran for this batch (iterative
     #: consumers; one-step consumers report 1).
     iterations: int = 1
+    #: map tasks the engine scheduled for this batch, summed over its
+    #: incremental iterations (0 for consumers that don't report task
+    #: counts, and for netted batches whose delta cancelled to zero —
+    #: those never reach the engine at all).
+    map_tasks: int = 0
     #: store shards whose files this batch touched, summed over the
     #: preserved stores of every reduce partition.  0 when the consumer
     #: maintains unsharded stores (or none at all, e.g. accumulator
@@ -116,6 +121,11 @@ class StreamRunResult:
     def total_retry_backoff_s(self) -> float:
         """Total simulated backoff seconds spent between retry attempts."""
         return sum(b.retry_backoff_s for b in self.batches)
+
+    @property
+    def total_map_tasks(self) -> int:
+        """Total map tasks scheduled across all batches."""
+        return sum(b.map_tasks for b in self.batches)
 
     @property
     def max_backlog(self) -> int:

@@ -242,6 +242,7 @@ class ContinuousPipeline:
                 backlog_records=len(self._buffer),
                 fell_back=outcome.fell_back,
                 iterations=outcome.iterations,
+                map_tasks=outcome.map_tasks,
                 shards_touched=outcome.shards_touched,
                 retries=failures - 1 if dead else failures,
                 failures=failures,

@@ -77,6 +77,7 @@ def test_readme_documents_env_knobs():
         "REPRO_BLACKLIST_AFTER",
         "REPRO_CHAOS_SEED",
         "REPRO_CHAOS_RATE",
+        "REPRO_WORKSET",
         "REPRO_BENCH_SCALE",
         "REPRO_SERVING_CACHE",
         "REPRO_SERVING_RETAIN",
@@ -106,6 +107,21 @@ def test_architecture_covers_streaming():
     arch = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
     assert "## Streaming & continuous pipelines" in arch
     for term in ("DeltaSource", "BatchPolicy", "ContinuousPipeline", "backlog"):
+        assert term in arch
+
+
+def test_architecture_covers_workset():
+    """Workset (delta) iteration has its architecture section."""
+    arch = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "## Workset & delta iteration" in arch
+    for term in (
+        "Workset",
+        "PartitionRouter",
+        "empty workset",
+        "REPRO_WORKSET",
+        "net_delta_records",
+        "BENCH_workset.json",
+    ):
         assert term in arch
 
 

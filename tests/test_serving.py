@@ -417,6 +417,46 @@ class TestServingBridge:
         assert server.manager.latest_epoch == 2
         assert server.get("total").value == 4  # the poison batch's 2 lost
 
+    def test_net_zero_batch_publishes_bare_commit_record(self):
+        """A batch whose delta nets to zero schedules no map tasks and
+        publishes no epoch work beyond the commit record itself."""
+        from repro.algorithms.pagerank import PageRank
+        from repro.common.kvpair import delete, insert
+        from repro.datasets.graphs import powerlaw_web_graph
+        from repro.iterative.api import IterativeJob
+        from repro.streaming import IterativeStreamConsumer
+
+        graph = powerlaw_web_graph(60, 4.0, seed=3)
+        cluster, dfs = fresh_cluster()
+        job = IterativeJob(PageRank(), graph, num_partitions=4,
+                           max_iterations=60, epsilon=1e-6)
+        consumer = IterativeStreamConsumer.from_initial(
+            cluster, dfs, job, net_deltas=True
+        )
+        server = QueryServer(num_shards=2)
+        server.publish(consumer.state())  # epoch 0: the initial state
+        probe = next(iter(consumer.state()))
+        assert server.get(probe).from_cache is False
+        assert server.get(probe).from_cache is True  # primed
+        bridge = ServingBridge(server)
+        noop = [insert(999, ((1,), "")), delete(999, ((1,), ""))]
+        with ContinuousPipeline(
+            ReplaySource(noop, rate=100.0), CountBatcher(2), consumer
+        ) as pipe:
+            pipe.add_batch_listener(bridge)
+            result = pipe.run()
+        assert result.num_batches == 1
+        assert result.batches[0].map_tasks == 0
+        # The commit record: one new epoch, but it touches nothing —
+        # readers advance, cached answers survive untouched.
+        assert bridge.published == 1
+        snapshot = server.manager.latest()
+        assert snapshot.epoch == 1
+        assert snapshot.touched == frozenset()
+        answer = server.get(probe)
+        assert answer.from_cache is True
+        assert answer.epoch == 1
+
 
 # --------------------------------------------------------------------- #
 # load generator                                                        #

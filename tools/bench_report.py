@@ -14,6 +14,10 @@ failure rates of 0/1/5/20% per backend.  ``BENCH_serving.json`` (from
 ``benchmarks/test_bench_serving.py``) reports the online query server
 under concurrent streaming ingestion: queries/s, p50/p99 host latency,
 cache hit rate and epochs served per serving-shard count.
+``BENCH_workset.json`` (from ``benchmarks/test_bench_workset.py``)
+shows workset (delta) iteration collapsing its per-superstep scheduled
+map tasks to zero on a converging PageRank, plus the frontier's
+touched-vertex savings vs full sweeps on SSSP.
 
 Usage::
 
@@ -39,6 +43,7 @@ OUT_PATH = os.path.join(ROOT, "BENCH_hotpaths.json")
 SHARDING_PATH = os.path.join(ROOT, "BENCH_sharding.json")
 RESILIENCE_PATH = os.path.join(ROOT, "BENCH_resilience.json")
 SERVING_PATH = os.path.join(ROOT, "BENCH_serving.json")
+WORKSET_PATH = os.path.join(ROOT, "BENCH_workset.json")
 BASELINE_PATH = os.path.join(ROOT, "benchmarks", "baseline_hotpaths.json")
 
 
@@ -57,6 +62,7 @@ def run_bench() -> int:
             os.path.join(ROOT, "benchmarks", "test_bench_sharding.py"),
             os.path.join(ROOT, "benchmarks", "test_bench_resilience.py"),
             os.path.join(ROOT, "benchmarks", "test_bench_serving.py"),
+            os.path.join(ROOT, "benchmarks", "test_bench_workset.py"),
             "-q",
         ],
         env=env,
@@ -201,6 +207,37 @@ def print_serving_report(doc: dict) -> None:
         )
 
 
+def print_workset_report(doc: dict) -> None:
+    host = doc.get("host", {})
+    print(
+        f"\nWorkset perf report  (python {host.get('python', '?')}, "
+        f"scale={host.get('bench_scale', '?')})"
+    )
+    collapse = doc.get("superstep_collapse", {})
+    if collapse:
+        series = collapse.get("map_tasks_per_superstep", [])
+        print(
+            f"superstep collapse (pagerank cascade, depth "
+            f"{collapse.get('depth')}):"
+        )
+        print(
+            f"  scheduled map tasks per superstep: {series} "
+            f"(full sweep: constant "
+            f"{collapse.get('full_sweep_map_tasks_per_superstep')})"
+        )
+    savings = doc.get("frontier_savings", {})
+    if savings:
+        full = savings.get("full_sweep", {})
+        workset = savings.get("workset", {})
+        print(f"frontier savings (sssp, {savings.get('vertices')} vertices):")
+        print(
+            f"  touched vertices {workset.get('touched_vertices')} vs "
+            f"{full.get('touched_vertices')} full-sweep "
+            f"({savings.get('touched_savings', 0) * 100:.0f}% saved), "
+            f"map tasks {workset.get('map_tasks')} vs {full.get('map_tasks')}"
+        )
+
+
 def check(doc: dict, baseline: dict) -> int:
     failures = []
     codec = doc.get("codec", {})
@@ -246,6 +283,9 @@ def main() -> int:
     serving = load(SERVING_PATH)
     if serving:
         print_serving_report(serving)
+    workset = load(WORKSET_PATH)
+    if workset:
+        print_workset_report(workset)
     if args.check:
         return check(doc, baseline)
     return 0
