@@ -15,6 +15,28 @@ import os
 
 import pytest
 
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def bench_out_path(filename: str) -> str:
+    """Where a ``BENCH_*.json`` perf artifact should be written.
+
+    The repo-root artifacts are the committed performance record, so a
+    plain ``pytest`` run (which collects ``benchmarks/`` alongside the
+    tier-1 suite, usually on a busy machine) must not clobber them with
+    noisy numbers.  The root path is returned only when
+    ``REPRO_BENCH_WRITE`` is truthy — set by the CI bench-smoke job and
+    by ``tools/bench_report.py --run``; otherwise artifacts land in the
+    git-ignored ``.bench_scratch/`` directory.
+    """
+    if os.environ.get("REPRO_BENCH_WRITE", "0").lower() in _TRUTHY:
+        return os.path.join(_ROOT, filename)
+    scratch = os.path.join(_ROOT, ".bench_scratch")
+    os.makedirs(scratch, exist_ok=True)
+    return os.path.join(scratch, filename)
+
 
 @pytest.fixture(scope="session")
 def bench_scale() -> str:

@@ -31,7 +31,7 @@ import sys
 import tempfile
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_out_path, run_once
 from repro.common.kvpair import Op, merge_sorted_runs, sort_records
 from repro.experiments.fig8_overall import run_workload
 from repro.mrbgraph.chunk import decode_chunk, encode_chunk
@@ -39,15 +39,16 @@ from repro.mrbgraph.graph import DeltaEdge, Edge
 from repro.mrbgraph.store import MRBGStore
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_OUT_PATH = os.path.join(_ROOT, "BENCH_hotpaths.json")
+_OUT_NAME = "BENCH_hotpaths.json"
 _BASELINE_PATH = os.path.join(_ROOT, "benchmarks", "baseline_hotpaths.json")
 
 
 def _record(section: str, payload: dict) -> None:
     """Merge one section into ``BENCH_hotpaths.json``."""
+    out_path = bench_out_path(_OUT_NAME)
     doc = {}
-    if os.path.exists(_OUT_PATH):
-        with open(_OUT_PATH) as fh:
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
             doc = json.load(fh)
     doc.setdefault("schema", "bench-hotpaths/1")
     doc["host"] = {
@@ -56,7 +57,7 @@ def _record(section: str, payload: dict) -> None:
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
     }
     doc[section] = payload
-    with open(_OUT_PATH, "w") as fh:
+    with open(out_path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
 

@@ -22,15 +22,14 @@ import platform
 import sys
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_out_path, run_once
 from repro.common.hashing import stable_hash
 from repro.execution import resolve_executor
 from repro.faults.injection import TaskFaultDirective
 from repro.resilience.executor import ResilientExecutor
 from repro.resilience.policy import RetryPolicy
 
-_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_OUT_PATH = os.path.join(_ROOT, "BENCH_resilience.json")
+_OUT_NAME = "BENCH_resilience.json"
 
 FAILURE_RATES = (0.0, 0.01, 0.05, 0.20)
 BACKENDS = ("serial", "thread", "process")
@@ -45,9 +44,10 @@ _SCALES = {
 
 def _record(section: str, payload: dict) -> None:
     """Merge one section into ``BENCH_resilience.json``."""
+    out_path = bench_out_path(_OUT_NAME)
     doc = {}
-    if os.path.exists(_OUT_PATH):
-        with open(_OUT_PATH) as fh:
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
             doc = json.load(fh)
     doc.setdefault("schema", "bench-resilience/1")
     doc["host"] = {
@@ -56,7 +56,7 @@ def _record(section: str, payload: dict) -> None:
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
     }
     doc[section] = payload
-    with open(_OUT_PATH, "w") as fh:
+    with open(out_path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
 

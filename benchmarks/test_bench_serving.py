@@ -26,7 +26,7 @@ import platform
 import sys
 import threading
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_out_path, run_once
 from repro.algorithms.wordcount import WordCountMapper, WordCountReducer
 from repro.cluster.cluster import Cluster
 from repro.cluster.costmodel import CostModel
@@ -47,8 +47,7 @@ from repro.streaming import (
     evolving_text_source,
 )
 
-_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_OUT_PATH = os.path.join(_ROOT, "BENCH_serving.json")
+_OUT_NAME = "BENCH_serving.json"
 
 SHARD_COUNTS = (1, 4)
 
@@ -62,9 +61,10 @@ _SCALES = {
 
 def _record(section: str, payload: dict) -> None:
     """Merge one section into ``BENCH_serving.json``."""
+    out_path = bench_out_path(_OUT_NAME)
     doc = {}
-    if os.path.exists(_OUT_PATH):
-        with open(_OUT_PATH) as fh:
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
             doc = json.load(fh)
     doc.setdefault("schema", "bench-serving/1")
     doc["host"] = {
@@ -73,7 +73,7 @@ def _record(section: str, payload: dict) -> None:
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
     }
     doc[section] = payload
-    with open(_OUT_PATH, "w") as fh:
+    with open(out_path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
 

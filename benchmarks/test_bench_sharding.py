@@ -22,14 +22,13 @@ import sys
 import tempfile
 import time
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_out_path, run_once
 from repro.common.kvpair import Op
 from repro.execution import resolve_executor
 from repro.mrbgraph.graph import DeltaEdge, Edge
 from repro.mrbgraph.sharding import ShardedMRBGStore
 
-_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_OUT_PATH = os.path.join(_ROOT, "BENCH_sharding.json")
+_OUT_NAME = "BENCH_sharding.json"
 
 SHARD_COUNTS = (1, 2, 4, 8)
 BACKENDS = ("serial", "thread", "process")
@@ -44,9 +43,10 @@ _SCALES = {
 
 def _record(section: str, payload: dict) -> None:
     """Merge one section into ``BENCH_sharding.json``."""
+    out_path = bench_out_path(_OUT_NAME)
     doc = {}
-    if os.path.exists(_OUT_PATH):
-        with open(_OUT_PATH) as fh:
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
             doc = json.load(fh)
     doc.setdefault("schema", "bench-sharding/1")
     doc["host"] = {
@@ -55,7 +55,7 @@ def _record(section: str, payload: dict) -> None:
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
     }
     doc[section] = payload
-    with open(_OUT_PATH, "w") as fh:
+    with open(out_path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
 

@@ -26,7 +26,7 @@ import os
 import platform
 import sys
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_out_path, run_once
 from repro.algorithms.pagerank import PageRank
 from repro.algorithms.sssp import SSSP
 from repro.common.hashing import partition_for
@@ -36,8 +36,7 @@ from repro.iterative.engine import IterMREngine
 
 from tests.conftest import fresh_cluster
 
-_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_OUT_PATH = os.path.join(_ROOT, "BENCH_workset.json")
+_OUT_NAME = "BENCH_workset.json"
 
 #: per-scale shapes: (chain depth, powerlaw vertices).
 _SCALES = {
@@ -49,9 +48,10 @@ _SCALES = {
 
 def _record(section: str, payload: dict) -> None:
     """Merge one section into ``BENCH_workset.json``."""
+    out_path = bench_out_path(_OUT_NAME)
     doc = {}
-    if os.path.exists(_OUT_PATH):
-        with open(_OUT_PATH) as fh:
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
             doc = json.load(fh)
     doc.setdefault("schema", "bench-workset/1")
     doc["host"] = {
@@ -60,7 +60,7 @@ def _record(section: str, payload: dict) -> None:
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "test"),
     }
     doc[section] = payload
-    with open(_OUT_PATH, "w") as fh:
+    with open(out_path, "w") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
 

@@ -1,0 +1,43 @@
+"""The committed ``BENCH_*.json`` perf record is write-gated.
+
+A plain ``pytest`` sweep collects ``benchmarks/`` alongside the tier-1
+suite, usually on a loaded machine; if those runs wrote the repo-root
+artifacts, every test run would overwrite the repo's performance record
+with noisy numbers.  ``benchmarks.conftest.bench_out_path`` therefore
+only returns the repo-root path when ``REPRO_BENCH_WRITE`` is truthy
+(set by ``tools/bench_report.py --run`` and the CI bench-smoke job) and
+otherwise redirects into the git-ignored ``.bench_scratch/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import bench_out_path
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_default_run_writes_to_scratch(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_WRITE", raising=False)
+    path = bench_out_path("BENCH_hotpaths.json")
+    assert os.path.dirname(path) == os.path.join(_ROOT, ".bench_scratch")
+    assert os.path.isdir(os.path.dirname(path))
+
+
+def test_falsy_knob_writes_to_scratch(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WRITE", "0")
+    path = bench_out_path("BENCH_workset.json")
+    assert os.path.dirname(path) == os.path.join(_ROOT, ".bench_scratch")
+
+
+def test_explicit_knob_writes_to_repo_root(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WRITE", "1")
+    assert bench_out_path("BENCH_sharding.json") == os.path.join(
+        _ROOT, "BENCH_sharding.json"
+    )
+
+
+def test_scratch_dir_is_git_ignored():
+    with open(os.path.join(_ROOT, ".gitignore")) as fh:
+        assert ".bench_scratch/" in fh.read()

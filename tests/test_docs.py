@@ -79,6 +79,7 @@ def test_readme_documents_env_knobs():
         "REPRO_CHAOS_RATE",
         "REPRO_WORKSET",
         "REPRO_BENCH_SCALE",
+        "REPRO_BENCH_WRITE",
         "REPRO_SERVING_CACHE",
         "REPRO_SERVING_RETAIN",
         "REPRO_SERVING_TOPK",

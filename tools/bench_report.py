@@ -28,6 +28,12 @@ Usage::
 
 CI runs ``--run`` at ``REPRO_BENCH_SCALE=test`` and uploads both JSON
 files as artifacts.
+
+The repo-root ``BENCH_*.json`` files are only (re)written when
+``REPRO_BENCH_WRITE=1`` (``--run`` sets it, as does the CI bench-smoke
+job); a plain ``pytest`` sweep writes to ``.bench_scratch/`` instead so
+a test run on a busy host cannot silently overwrite the committed perf
+record with noisy numbers.
 """
 
 from __future__ import annotations
@@ -50,6 +56,10 @@ BASELINE_PATH = os.path.join(ROOT, "benchmarks", "baseline_hotpaths.json")
 def run_bench() -> int:
     env = dict(os.environ)
     env.setdefault("REPRO_BENCH_SCALE", "test")
+    # --run is the explicit "refresh the committed perf record" path;
+    # without this knob the bench modules write to .bench_scratch/ so
+    # ordinary pytest runs can't clobber the repo-root artifacts.
+    env["REPRO_BENCH_WRITE"] = "1"
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
